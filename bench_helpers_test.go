@@ -1,0 +1,32 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cbqt"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+	"repro/internal/transform"
+)
+
+// benchOptimizeTable2 times CBQT optimization of the Table 2 query under
+// exhaustive search with the given §3.4 switches.
+func benchOptimizeTable2(b *testing.B, db *storage.DB, reuse, cutoff bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		q, err := qtree.BindSQL(bench.Table2Query, db.Catalog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := cbqt.DefaultOptions()
+		opts.Strategy = cbqt.StrategyExhaustive
+		opts.AnnotationReuse = reuse
+		opts.CostCutoff = cutoff
+		opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
+		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+		if _, err := o.Optimize(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

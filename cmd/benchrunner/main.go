@@ -1,0 +1,98 @@
+// Command benchrunner regenerates the paper's evaluation results: Figures
+// 2, 3 and 4 (relative improvement of cost-based transformation as a
+// function of the top N% most expensive queries), the Section 4.3 group-by
+// placement experiment, and Tables 1 and 2.
+//
+// Usage:
+//
+//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2 [-n 12] [-repeats 3] [-seed 1] [-small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2")
+	n := flag.Int("n", 12, "queries per workload class")
+	repeats := flag.Int("repeats", 3, "execution repetitions per query (min taken)")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
+	flag.Parse()
+
+	fmt.Println("building database...")
+	start := time.Now()
+	var db *storage.DB
+	if *small {
+		db = testkit.NewDB(testkit.SmallSizes(), *seed)
+	} else {
+		db = bench.NewBenchDB(*seed)
+	}
+	fmt.Printf("database ready in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig2", func() error {
+		r, err := bench.Figure2(db, *n, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig3", func() error {
+		r, err := bench.Figure3(db, *n, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("fig4", func() error {
+		r, err := bench.Figure4(db, *n, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("gbp", func() error {
+		r, err := bench.GroupByPlacementExp(db, *n, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("table1", func() error {
+		r, err := bench.Table1(db)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable1(r))
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := bench.Table2(db)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatTable2(rows))
+		return nil
+	})
+}

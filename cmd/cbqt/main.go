@@ -1,0 +1,160 @@
+// Command cbqt is an interactive front end for the cost-based query
+// transformation engine: it parses a query against the built-in HR/OE
+// demo schema, runs heuristic and cost-based transformation, and prints
+// the transformed SQL, the physical plan with cost annotations, the
+// state-space statistics, and optionally the query results.
+//
+// Usage:
+//
+//	cbqt [flags] "SELECT ..."     run one query
+//	cbqt [flags]                  read queries from stdin (semicolon-terminated)
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+	"repro/internal/transform"
+)
+
+func main() {
+	size := flag.String("size", "small", "demo data size: small or medium")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	strategy := flag.String("strategy", "auto", "state-space search: auto, exhaustive, iterative, linear, two-pass")
+	mode := flag.String("mode", "cost", "cost-based transformations: cost, heuristic, off")
+	run := flag.Bool("run", true, "execute the plan and print rows")
+	maxRows := flag.Int("max-rows", 20, "maximum result rows to print")
+	trace := flag.Bool("trace", false, "print every transformation state evaluated with its cost")
+	flag.Parse()
+
+	var db *storage.DB
+	switch *size {
+	case "small":
+		db = testkit.NewDB(testkit.SmallSizes(), *seed)
+	case "medium":
+		db = testkit.NewDB(testkit.MediumSizes(), *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	opts := cbqt.DefaultOptions()
+	opts.Trace = *trace
+	switch *strategy {
+	case "auto":
+		opts.Strategy = cbqt.StrategyAuto
+	case "exhaustive":
+		opts.Strategy = cbqt.StrategyExhaustive
+	case "iterative":
+		opts.Strategy = cbqt.StrategyIterative
+	case "linear":
+		opts.Strategy = cbqt.StrategyLinear
+	case "two-pass":
+		opts.Strategy = cbqt.StrategyTwoPass
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	switch *mode {
+	case "cost":
+	case "heuristic", "off":
+		m := cbqt.RuleHeuristic
+		if *mode == "off" {
+			m = cbqt.RuleOff
+		}
+		opts.RuleModes = map[string]cbqt.RuleMode{}
+		for _, r := range transform.CostBasedRules() {
+			opts.RuleModes[r.Name()] = m
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	if flag.NArg() > 0 {
+		runQuery(db, strings.Join(flag.Args(), " "), opts, *run, *maxRows)
+		return
+	}
+
+	// REPL over stdin.
+	fmt.Println("cbqt demo shell — terminate queries with ';' (schema: employees,")
+	fmt.Println("departments, locations, job_history, jobs, sales, accounts)")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("cbqt> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if idx := strings.Index(line, ";"); idx >= 0 {
+			buf.WriteString(line[:idx])
+			sql := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if sql != "" {
+				runQuery(db, sql, opts, *run, *maxRows)
+			}
+			fmt.Print("cbqt> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+	}
+}
+
+func runQuery(db *storage.DB, sql string, opts cbqt.Options, execute bool, maxRows int) {
+	q, err := qtree.BindSQL(sql, db.Catalog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+	start := time.Now()
+	res, err := o.Optimize(q)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "optimize error: %v\n", err)
+		return
+	}
+	fmt.Printf("\n-- transformed (%s, %d states, %d blocks, %d annotation hits) --\n",
+		time.Since(start).Round(10*time.Microsecond),
+		res.Stats.StatesEvaluated, res.Stats.BlocksOptimized, res.Stats.AnnotationHits)
+	if len(res.Stats.Trace) > 0 {
+		fmt.Println("-- state space --")
+		for _, ev := range res.Stats.Trace {
+			fmt.Printf("   %-55s state (%s)  cost %.1f\n", ev.Rule, ev.State, ev.Cost)
+		}
+	}
+	fmt.Println(res.Query.SQL())
+	fmt.Println("\n-- plan --")
+	fmt.Print(optimizer.Explain(res.Plan))
+	if !execute {
+		return
+	}
+	start = time.Now()
+	r, err := exec.Run(db, res.Plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "exec error: %v\n", err)
+		return
+	}
+	fmt.Printf("\n-- %d rows in %s --\n", len(r.Rows), time.Since(start).Round(10*time.Microsecond))
+	for i, row := range r.Rows {
+		if i >= maxRows {
+			fmt.Printf("  ... (%d more)\n", len(r.Rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, d := range row {
+			parts[j] = d.String()
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, " | "))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,220 @@
+// Package bench implements the performance study of the paper's Section 4:
+// it runs workload queries under two optimizer configurations (for example
+// heuristic-decision versus cost-based transformation), measures
+// optimization and execution time, and reports relative improvement as a
+// function of the top N% most expensive queries — the shape of Figures 2,
+// 3 and 4 — together with the optimization-time overhead and the
+// state-space measurements of Tables 1 and 2.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/exec"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Measurement is the outcome of one query under two optimizer modes.
+type Measurement struct {
+	Query workload.Query
+	// A is the baseline mode; B the compared mode (cost-based).
+	AOpt, AExec time.Duration
+	BOpt, BExec time.Duration
+	ARows       int
+	BRows       int
+	// PlanChanged reports whether the transformed query trees differ.
+	PlanChanged bool
+}
+
+// ATotal is optimization plus execution time under the baseline mode.
+func (m Measurement) ATotal() time.Duration { return m.AOpt + m.AExec }
+
+// BTotal is optimization plus execution time under the compared mode.
+func (m Measurement) BTotal() time.Duration { return m.BOpt + m.BExec }
+
+// ImprovementPct is the paper's improvement metric: how much faster the
+// compared mode is, relative to the compared mode's time ("improved by
+// 387%" means the baseline took 4.87x as long).
+func (m Measurement) ImprovementPct() float64 {
+	b := m.BTotal().Seconds()
+	if b <= 0 {
+		return 0
+	}
+	return (m.ATotal().Seconds() - b) / b * 100
+}
+
+// measureOne optimizes and executes one query under the given options.
+func measureOne(db *storage.DB, sql string, opts cbqt.Options, repeats int) (optT, execT time.Duration, rows int, shape string, err error) {
+	// Optimization time: bind + CBQT + physical optimization, best of
+	// repeats to suppress allocator noise on cheap queries.
+	var res *cbqt.Result
+	for i := 0; i < repeats; i++ {
+		optStart := time.Now()
+		q, berr := qtree.BindSQL(sql, db.Catalog)
+		if berr != nil {
+			return 0, 0, 0, "", fmt.Errorf("bind: %w", berr)
+		}
+		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+		r, oerr := o.Optimize(q)
+		if oerr != nil {
+			return 0, 0, 0, "", fmt.Errorf("optimize %q: %w", sql, oerr)
+		}
+		d := time.Since(optStart)
+		if i == 0 || d < optT {
+			optT = d
+		}
+		res = r
+	}
+
+	best := time.Duration(0)
+	for i := 0; i < repeats; i++ {
+		start := time.Now()
+		r, err := exec.Run(db, res.Plan)
+		if err != nil {
+			return 0, 0, 0, "", fmt.Errorf("exec %q: %w", sql, err)
+		}
+		d := time.Since(start)
+		if i == 0 || d < best {
+			best = d
+		}
+		rows = len(r.Rows)
+	}
+	return optT, best, rows, res.Query.SQL(), nil
+}
+
+// Compare measures every query under both modes. It verifies that both
+// modes return the same number of rows (a cheap end-to-end equivalence
+// guard on real data).
+func Compare(db *storage.DB, queries []workload.Query, modeA, modeB cbqt.Options, repeats int) ([]Measurement, error) {
+	var out []Measurement
+	for _, wq := range queries {
+		aOpt, aExec, aRows, aShape, err := measureOne(db, wq.SQL, modeA, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("query %d (%s) mode A: %w", wq.ID, wq.Class, err)
+		}
+		bOpt, bExec, bRows, bShape, err := measureOne(db, wq.SQL, modeB, repeats)
+		if err != nil {
+			return nil, fmt.Errorf("query %d (%s) mode B: %w", wq.ID, wq.Class, err)
+		}
+		if aRows != bRows {
+			return nil, fmt.Errorf("query %d (%s): modes disagree on result size (%d vs %d)\nsql: %s",
+				wq.ID, wq.Class, aRows, bRows, wq.SQL)
+		}
+		out = append(out, Measurement{
+			Query: wq,
+			AOpt:  aOpt, AExec: aExec, BOpt: bOpt, BExec: bExec,
+			ARows: aRows, BRows: bRows,
+			PlanChanged: aShape != bShape,
+		})
+	}
+	return out, nil
+}
+
+// CurvePoint is one point of a Figure 2/3/4 style curve.
+type CurvePoint struct {
+	TopPct         int
+	Queries        int
+	AvgImprovement float64
+}
+
+// TopNCurve ranks the measurements by baseline total time (descending, the
+// paper's "top N longest running queries without cost-based
+// transformation") and reports the average improvement among the top N%.
+func TopNCurve(ms []Measurement, pcts []int) []CurvePoint {
+	ranked := append([]Measurement(nil), ms...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		return ranked[i].ATotal() > ranked[j].ATotal()
+	})
+	var out []CurvePoint
+	for _, pct := range pcts {
+		n := len(ranked) * pct / 100
+		if n == 0 {
+			n = 1
+		}
+		if n > len(ranked) {
+			n = len(ranked)
+		}
+		sum := 0.0
+		for _, m := range ranked[:n] {
+			sum += m.ImprovementPct()
+		}
+		out = append(out, CurvePoint{TopPct: pct, Queries: n, AvgImprovement: sum / float64(n)})
+	}
+	return out
+}
+
+// Report summarizes a comparison the way Section 4 does.
+type Report struct {
+	Name         string
+	Measurements []Measurement
+	Curve        []CurvePoint
+	// AvgImprovement is the mean improvement over all affected queries.
+	AvgImprovement float64
+	// DegradedFraction and DegradedAvgPct describe the queries the
+	// compared mode made slower.
+	DegradedFraction float64
+	DegradedAvgPct   float64
+	// OptTimeIncreasePct is the optimization-time overhead of mode B.
+	OptTimeIncreasePct float64
+	// PlansChanged counts queries whose transformed tree differed.
+	PlansChanged int
+}
+
+// DefaultPcts are the top-N percentages reported in the figures.
+var DefaultPcts = []int{5, 10, 25, 50, 80, 100}
+
+// Summarize builds a report from measurements.
+func Summarize(name string, ms []Measurement) Report {
+	r := Report{Name: name, Measurements: ms}
+	r.Curve = TopNCurve(ms, DefaultPcts)
+	var sum float64
+	var aOpt, bOpt time.Duration
+	var degraded int
+	var degradedSum float64
+	for _, m := range ms {
+		imp := m.ImprovementPct()
+		sum += imp
+		aOpt += m.AOpt
+		bOpt += m.BOpt
+		if imp < 0 {
+			degraded++
+			degradedSum += -imp
+		}
+		if m.PlanChanged {
+			r.PlansChanged++
+		}
+	}
+	if len(ms) > 0 {
+		r.AvgImprovement = sum / float64(len(ms))
+		r.DegradedFraction = float64(degraded) / float64(len(ms))
+	}
+	if degraded > 0 {
+		r.DegradedAvgPct = degradedSum / float64(degraded)
+	}
+	if aOpt > 0 {
+		r.OptTimeIncreasePct = (bOpt.Seconds() - aOpt.Seconds()) / aOpt.Seconds() * 100
+	}
+	return r
+}
+
+// String renders the report like the paper's figures.
+func (r Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s ===\n", r.Name)
+	fmt.Fprintf(&sb, "affected queries: %d (plans changed: %d)\n", len(r.Measurements), r.PlansChanged)
+	fmt.Fprintf(&sb, "average improvement: %+.0f%%\n", r.AvgImprovement)
+	fmt.Fprintf(&sb, "degraded: %.0f%% of queries, by %.0f%% on average\n",
+		r.DegradedFraction*100, r.DegradedAvgPct)
+	fmt.Fprintf(&sb, "optimization time increase: %+.0f%%\n", r.OptTimeIncreasePct)
+	sb.WriteString("top-N%% curve (improvement as a function of the top N%% most expensive queries):\n")
+	for _, p := range r.Curve {
+		fmt.Fprintf(&sb, "  top %3d%% (%3d queries): %+8.0f%%\n", p.TopPct, p.Queries, p.AvgImprovement)
+	}
+	return sb.String()
+}

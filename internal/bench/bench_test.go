@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/testkit"
+	"repro/internal/workload"
+)
+
+func TestWorkloadGeneratorDeterministic(t *testing.T) {
+	cfg := workload.DefaultConfig(5, 100, 200, 20, 10)
+	a := workload.Generate(cfg)
+	b := workload.Generate(cfg)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].SQL != b[i].SQL || a[i].Class != b[i].Class {
+			t.Fatalf("generation not deterministic at %d", i)
+		}
+	}
+	relevant := 0
+	for _, q := range a {
+		if q.Relevant() {
+			relevant++
+		}
+	}
+	if relevant == 0 || relevant > 25 {
+		t.Errorf("relevant = %d of 100, want a small fraction", relevant)
+	}
+}
+
+func TestWorkloadQueriesAllBindAndRun(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	s := testkit.SmallSizes()
+	cfg := workload.DefaultConfig(6, 0, s.Employees, s.Departments, s.Jobs)
+	// One of each class must bind, optimize under CBQT, and execute.
+	for _, class := range append([]workload.Class{workload.ClassSPJ}, workload.RelevantClasses...) {
+		qs := workload.GenerateClass(11, 3, cfg, class)
+		ms, err := Compare(db, qs, heuristicModeOptions(), cbqt.DefaultOptions(), 1)
+		if err != nil {
+			t.Fatalf("%s: %v", class, err)
+		}
+		if len(ms) != 3 {
+			t.Fatalf("%s: %d measurements", class, len(ms))
+		}
+	}
+}
+
+func TestTopNCurveRanksByBaseline(t *testing.T) {
+	ms := []Measurement{
+		{AOpt: 0, AExec: 100 * time.Millisecond, BOpt: 0, BExec: 10 * time.Millisecond}, // +900%
+		{AOpt: 0, AExec: 10 * time.Millisecond, BOpt: 0, BExec: 10 * time.Millisecond},  // 0%
+		{AOpt: 0, AExec: 1 * time.Millisecond, BOpt: 0, BExec: 2 * time.Millisecond},    // -50%
+		{AOpt: 0, AExec: 50 * time.Millisecond, BOpt: 0, BExec: 25 * time.Millisecond},  // +100%
+	}
+	curve := TopNCurve(ms, []int{25, 50, 100})
+	if curve[0].Queries != 1 || curve[0].AvgImprovement != 900 {
+		t.Errorf("top 25%%: %+v", curve[0])
+	}
+	if curve[1].Queries != 2 || curve[1].AvgImprovement != 500 {
+		t.Errorf("top 50%%: %+v", curve[1])
+	}
+	if curve[2].Queries != 4 {
+		t.Errorf("top 100%%: %+v", curve[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ms := []Measurement{
+		{AExec: 100 * time.Millisecond, BExec: 50 * time.Millisecond, AOpt: time.Millisecond, BOpt: 2 * time.Millisecond, PlanChanged: true},
+		{AExec: 10 * time.Millisecond, BExec: 20 * time.Millisecond, AOpt: time.Millisecond, BOpt: time.Millisecond},
+	}
+	r := Summarize("test", ms)
+	if r.PlansChanged != 1 {
+		t.Errorf("plans changed = %d", r.PlansChanged)
+	}
+	if r.DegradedFraction != 0.5 {
+		t.Errorf("degraded fraction = %v", r.DegradedFraction)
+	}
+	if r.OptTimeIncreasePct <= 0 {
+		t.Errorf("opt increase = %v", r.OptTimeIncreasePct)
+	}
+	if r.String() == "" {
+		t.Error("report renders")
+	}
+}
+
+func TestTable1SmallDB(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	r, err := Table1(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.States != 4 {
+		t.Errorf("states = %d, want 4", r.States)
+	}
+	if r.BlocksWithoutReuse != 12 {
+		t.Errorf("blocks without reuse = %d, want 12", r.BlocksWithoutReuse)
+	}
+	if r.BlocksWithReuse != 8 {
+		t.Errorf("blocks with reuse = %d, want 8", r.BlocksWithReuse)
+	}
+	if r.AnnotationHits != 4 {
+		t.Errorf("hits = %d, want 4", r.AnnotationHits)
+	}
+}
+
+func TestTable2SmallDB(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	rows, err := Table2(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]Table2Row{}
+	for _, r := range rows {
+		byMode[r.Mode] = r
+	}
+	// Paper Table 2: heuristic 1 state, two-pass 2, linear 5, exhaustive 16.
+	if byMode["Heuristic"].States != 1 {
+		t.Errorf("heuristic states = %d", byMode["Heuristic"].States)
+	}
+	if byMode["Two Pass"].States != 2 {
+		t.Errorf("two-pass states = %d", byMode["Two Pass"].States)
+	}
+	if byMode["Linear"].States != 5 {
+		t.Errorf("linear states = %d (4 subqueries + 1)", byMode["Linear"].States)
+	}
+	if byMode["Exhaustive"].States != 16 {
+		t.Errorf("exhaustive states = %d (2^4)", byMode["Exhaustive"].States)
+	}
+	if s := FormatTable2(rows); s == "" {
+		t.Error("format")
+	}
+}
+
+func TestFiguresRunOnSmallDB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	if _, err := Figure2(db, 2, 1); err != nil {
+		t.Errorf("figure 2: %v", err)
+	}
+	if _, err := Figure3(db, 2, 1); err != nil {
+		t.Errorf("figure 3: %v", err)
+	}
+	if _, err := Figure4(db, 2, 1); err != nil {
+		t.Errorf("figure 4: %v", err)
+	}
+	if _, err := GroupByPlacementExp(db, 3, 1); err != nil {
+		t.Errorf("gbp: %v", err)
+	}
+}

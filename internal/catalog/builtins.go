@@ -1,0 +1,194 @@
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// builtins returns the built-in scalar function definitions.
+func builtins() []*FuncDef {
+	return []*FuncDef{
+		{
+			Name: "UPPER", MinArgs: 1, MaxArgs: 1, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() {
+					return datum.Null, nil
+				}
+				return datum.NewString(strings.ToUpper(args[0].Str())), nil
+			},
+		},
+		{
+			Name: "LOWER", MinArgs: 1, MaxArgs: 1, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() {
+					return datum.Null, nil
+				}
+				return datum.NewString(strings.ToLower(args[0].Str())), nil
+			},
+		},
+		{
+			Name: "LENGTH", MinArgs: 1, MaxArgs: 1, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() {
+					return datum.Null, nil
+				}
+				return datum.NewInt(int64(len(args[0].Str()))), nil
+			},
+		},
+		{
+			Name: "SUBSTR", MinArgs: 2, MaxArgs: 3, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				for _, a := range args {
+					if a.IsNull() {
+						return datum.Null, nil
+					}
+				}
+				s := args[0].Str()
+				start := int(args[1].Int()) // 1-based, as in Oracle
+				if start < 1 {
+					start = 1
+				}
+				if start > len(s) {
+					return datum.NewString(""), nil
+				}
+				end := len(s)
+				if len(args) == 3 {
+					if n := int(args[2].Int()); start-1+n < end {
+						end = start - 1 + n
+					}
+				}
+				return datum.NewString(s[start-1 : end]), nil
+			},
+		},
+		{
+			Name: "MOD", MinArgs: 2, MaxArgs: 2, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() || args[1].IsNull() {
+					return datum.Null, nil
+				}
+				d := args[1].Int()
+				if d == 0 {
+					return args[0], nil // Oracle MOD(x, 0) = x
+				}
+				return datum.NewInt(args[0].Int() % d), nil
+			},
+		},
+		{
+			Name: "ABS", MinArgs: 1, MaxArgs: 1, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				a := args[0]
+				switch a.Kind() {
+				case datum.KNull:
+					return datum.Null, nil
+				case datum.KInt:
+					if v := a.Int(); v < 0 {
+						return datum.NewInt(-v), nil
+					}
+					return a, nil
+				case datum.KFloat:
+					if v := a.Float(); v < 0 {
+						return datum.NewFloat(-v), nil
+					}
+					return a, nil
+				}
+				return datum.Null, fmt.Errorf("ABS: bad argument kind %s", a.Kind())
+			},
+		},
+		{
+			// NVL(a, b): Oracle's COALESCE for two arguments.
+			Name: "NVL", MinArgs: 2, MaxArgs: 2, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() {
+					return args[1], nil
+				}
+				return args[0], nil
+			},
+		},
+		{
+			Name: "COALESCE", MinArgs: 2, MaxArgs: 6, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				for _, a := range args {
+					if !a.IsNull() {
+						return a, nil
+					}
+				}
+				return datum.Null, nil
+			},
+		},
+		{
+			// NULLIF(a, b): NULL when a = b, otherwise a.
+			Name: "NULLIF", MinArgs: 2, MaxArgs: 2, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if datum.SameValue(args[0], args[1]) {
+					return datum.Null, nil
+				}
+				return args[0], nil
+			},
+		},
+		{
+			Name: "GREATEST", MinArgs: 2, MaxArgs: 6, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				best := args[0]
+				for _, a := range args[1:] {
+					if a.IsNull() || best.IsNull() {
+						return datum.Null, nil
+					}
+					c, err := datum.Compare(a, best)
+					if err != nil {
+						return datum.Null, err
+					}
+					if c > 0 {
+						best = a
+					}
+				}
+				return best, nil
+			},
+		},
+		{
+			Name: "LEAST", MinArgs: 2, MaxArgs: 6, CostPerCall: 0.01,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				best := args[0]
+				for _, a := range args[1:] {
+					if a.IsNull() || best.IsNull() {
+						return datum.Null, nil
+					}
+					c, err := datum.Compare(a, best)
+					if err != nil {
+						return datum.Null, err
+					}
+					if c < 0 {
+						best = a
+					}
+				}
+				return best, nil
+			},
+		},
+		{
+			// SLOW_MATCH(s, pat) is an intentionally expensive predicate
+			// function standing in for the paper's "procedural language
+			// functions" (§2.2.6). It reports whether pat occurs in s after
+			// performing deliberately redundant work proportional to
+			// CostPerCall.
+			Name: "SLOW_MATCH", MinArgs: 2, MaxArgs: 2,
+			Expensive: true, CostPerCall: 50,
+			Eval: func(args []datum.Datum) (datum.Datum, error) {
+				if args[0].IsNull() || args[1].IsNull() {
+					return datum.Null, nil
+				}
+				s, pat := args[0].Str(), args[1].Str()
+				// Burn cycles so the executor's timing reflects the
+				// optimizer's expensive-predicate costing.
+				sink := 0
+				for i := 0; i < 2000; i++ {
+					for j := 0; j < len(s); j++ {
+						sink += int(s[j])
+					}
+				}
+				_ = sink
+				return datum.NewBool(strings.Contains(s, pat)), nil
+			},
+		},
+	}
+}

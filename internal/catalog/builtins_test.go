@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func evalFn(t *testing.T, name string, args ...datum.Datum) datum.Datum {
+	t.Helper()
+	c := New()
+	f := c.Func(name)
+	if f == nil {
+		t.Fatalf("builtin %s missing", name)
+	}
+	if len(args) < f.MinArgs || len(args) > f.MaxArgs {
+		t.Fatalf("%s: bad arity %d", name, len(args))
+	}
+	d, err := f.Eval(args)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return d
+}
+
+func TestStringBuiltins(t *testing.T) {
+	if got := evalFn(t, "UPPER", datum.NewString("abC")); got.Str() != "ABC" {
+		t.Errorf("UPPER = %v", got)
+	}
+	if got := evalFn(t, "LOWER", datum.NewString("AbC")); got.Str() != "abc" {
+		t.Errorf("LOWER = %v", got)
+	}
+	if got := evalFn(t, "LENGTH", datum.NewString("hello")); got.Int() != 5 {
+		t.Errorf("LENGTH = %v", got)
+	}
+	// NULL propagation.
+	for _, name := range []string{"UPPER", "LOWER", "LENGTH"} {
+		if got := evalFn(t, name, datum.Null); !got.IsNull() {
+			t.Errorf("%s(NULL) = %v", name, got)
+		}
+	}
+}
+
+func TestSubstrBuiltin(t *testing.T) {
+	cases := []struct {
+		args []datum.Datum
+		want string
+	}{
+		{[]datum.Datum{datum.NewString("employees"), datum.NewInt(1), datum.NewInt(3)}, "emp"},
+		{[]datum.Datum{datum.NewString("employees"), datum.NewInt(4)}, "loyees"},
+		{[]datum.Datum{datum.NewString("abc"), datum.NewInt(99)}, ""},
+		{[]datum.Datum{datum.NewString("abc"), datum.NewInt(0), datum.NewInt(2)}, "ab"},
+		{[]datum.Datum{datum.NewString("abc"), datum.NewInt(2), datum.NewInt(99)}, "bc"},
+	}
+	for _, c := range cases {
+		if got := evalFn(t, "SUBSTR", c.args...); got.Str() != c.want {
+			t.Errorf("SUBSTR(%v) = %v, want %q", c.args, got, c.want)
+		}
+	}
+	if got := evalFn(t, "SUBSTR", datum.Null, datum.NewInt(1)); !got.IsNull() {
+		t.Error("SUBSTR(NULL, 1) should be NULL")
+	}
+}
+
+func TestNumericBuiltins(t *testing.T) {
+	if got := evalFn(t, "MOD", datum.NewInt(7), datum.NewInt(3)); got.Int() != 1 {
+		t.Errorf("MOD = %v", got)
+	}
+	if got := evalFn(t, "MOD", datum.NewInt(7), datum.NewInt(0)); got.Int() != 7 {
+		t.Errorf("Oracle MOD(x, 0) = x, got %v", got)
+	}
+	if got := evalFn(t, "ABS", datum.NewInt(-4)); got.Int() != 4 {
+		t.Errorf("ABS = %v", got)
+	}
+	if got := evalFn(t, "ABS", datum.NewFloat(-2.5)); got.Float() != 2.5 {
+		t.Errorf("ABS float = %v", got)
+	}
+	if got := evalFn(t, "ABS", datum.Null); !got.IsNull() {
+		t.Error("ABS(NULL)")
+	}
+}
+
+func TestNullHandlingBuiltins(t *testing.T) {
+	if got := evalFn(t, "NVL", datum.Null, datum.NewInt(9)); got.Int() != 9 {
+		t.Errorf("NVL = %v", got)
+	}
+	if got := evalFn(t, "NVL", datum.NewInt(1), datum.NewInt(9)); got.Int() != 1 {
+		t.Errorf("NVL = %v", got)
+	}
+	if got := evalFn(t, "COALESCE", datum.Null, datum.Null, datum.NewString("x")); got.Str() != "x" {
+		t.Errorf("COALESCE = %v", got)
+	}
+	if got := evalFn(t, "COALESCE", datum.Null, datum.Null); !got.IsNull() {
+		t.Errorf("COALESCE all null = %v", got)
+	}
+	if got := evalFn(t, "NULLIF", datum.NewInt(3), datum.NewInt(3)); !got.IsNull() {
+		t.Errorf("NULLIF equal = %v", got)
+	}
+	if got := evalFn(t, "NULLIF", datum.NewInt(3), datum.NewInt(4)); got.Int() != 3 {
+		t.Errorf("NULLIF different = %v", got)
+	}
+}
+
+func TestGreatestLeast(t *testing.T) {
+	if got := evalFn(t, "GREATEST", datum.NewInt(3), datum.NewInt(9), datum.NewInt(5)); got.Int() != 9 {
+		t.Errorf("GREATEST = %v", got)
+	}
+	if got := evalFn(t, "LEAST", datum.NewInt(3), datum.NewInt(9), datum.NewInt(5)); got.Int() != 3 {
+		t.Errorf("LEAST = %v", got)
+	}
+	if got := evalFn(t, "GREATEST", datum.NewInt(3), datum.Null); !got.IsNull() {
+		t.Errorf("GREATEST with NULL = %v", got)
+	}
+	if got := evalFn(t, "LEAST", datum.Null, datum.NewInt(3)); !got.IsNull() {
+		t.Errorf("LEAST with NULL = %v", got)
+	}
+	if got := evalFn(t, "GREATEST", datum.NewString("a"), datum.NewString("c")); got.Str() != "c" {
+		t.Errorf("GREATEST strings = %v", got)
+	}
+}
+
+func TestSlowMatch(t *testing.T) {
+	c := New()
+	f := c.Func("SLOW_MATCH")
+	if !f.Expensive || f.CostPerCall <= 1 {
+		t.Fatalf("SLOW_MATCH must be expensive: %+v", f)
+	}
+	got, err := f.Eval([]datum.Datum{datum.NewString("some keyword7 text"), datum.NewString("keyword7")})
+	if err != nil || !got.Bool() {
+		t.Errorf("SLOW_MATCH hit = %v, %v", got, err)
+	}
+	got, err = f.Eval([]datum.Datum{datum.NewString("nothing"), datum.NewString("keyword7")})
+	if err != nil || got.Bool() {
+		t.Errorf("SLOW_MATCH miss = %v, %v", got, err)
+	}
+	got, err = f.Eval([]datum.Datum{datum.Null, datum.NewString("x")})
+	if err != nil || !got.IsNull() {
+		t.Errorf("SLOW_MATCH null = %v, %v", got, err)
+	}
+}

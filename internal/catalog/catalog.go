@@ -1,0 +1,220 @@
+// Package catalog holds schema metadata: tables, columns, integrity
+// constraints (primary/unique keys and foreign keys), secondary indexes,
+// optimizer statistics, and the scalar function registry.
+//
+// Constraints drive the join elimination transformation (paper §2.1.2);
+// statistics drive the cost model; the function registry marks predicates
+// as expensive for the predicate pull-up transformation (§2.2.6).
+package catalog
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name     string
+	Type     datum.Kind
+	Nullable bool
+}
+
+// ForeignKey records that Cols of the owning table reference RefCols of
+// RefTable (which must form a primary or unique key there).
+type ForeignKey struct {
+	Cols     []int
+	RefTable string
+	RefCols  []int
+}
+
+// Index describes a secondary index over the owning table.
+type Index struct {
+	Name   string
+	Cols   []int
+	Unique bool
+}
+
+// Table describes a base table.
+type Table struct {
+	Name        string
+	Cols        []Column
+	PrimaryKey  []int // ordinals; empty if none
+	UniqueKeys  [][]int
+	ForeignKeys []ForeignKey
+	Indexes     []*Index
+	Stats       *TableStats // nil until analyzed
+}
+
+// Ordinal returns the ordinal of the named column, or -1.
+func (t *Table) Ordinal(name string) int {
+	name = strings.ToUpper(name)
+	for i, c := range t.Cols {
+		if strings.ToUpper(c.Name) == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowidOrdinal is the ordinal of the implicit ROWID pseudo-column, which
+// follows the declared columns in every base-table row produced by a scan.
+func (t *Table) RowidOrdinal() int { return len(t.Cols) }
+
+// NumCols returns the number of declared columns (excluding ROWID).
+func (t *Table) NumCols() int { return len(t.Cols) }
+
+// IsUniqueKey reports whether the given set of column ordinals contains a
+// primary key or declared unique key of the table (a superset is still
+// unique).
+func (t *Table) IsUniqueKey(ords []int) bool {
+	have := map[int]bool{}
+	for _, o := range ords {
+		have[o] = true
+	}
+	covers := func(key []int) bool {
+		if len(key) == 0 {
+			return false
+		}
+		for _, k := range key {
+			if !have[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if covers(t.PrimaryKey) {
+		return true
+	}
+	for _, u := range t.UniqueKeys {
+		if covers(u) {
+			return true
+		}
+	}
+	for _, idx := range t.Indexes {
+		if idx.Unique && covers(idx.Cols) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindIndex returns an index whose leading columns match the given ordinals
+// (in any order for the prefix), or nil.
+func (t *Table) FindIndex(ords []int) *Index {
+	if len(ords) == 0 {
+		return nil
+	}
+	want := map[int]bool{}
+	for _, o := range ords {
+		want[o] = true
+	}
+	for _, idx := range t.Indexes {
+		if len(idx.Cols) < len(ords) {
+			continue
+		}
+		ok := true
+		for i := 0; i < len(ords); i++ {
+			if !want[idx.Cols[i]] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return idx
+		}
+	}
+	return nil
+}
+
+// FuncDef describes a scalar SQL function. Expensive functions (procedural
+// language functions in the paper) are candidates for predicate pull-up.
+type FuncDef struct {
+	Name        string
+	MinArgs     int
+	MaxArgs     int
+	Expensive   bool
+	CostPerCall float64 // optimizer cost units per invocation
+	Eval        func(args []datum.Datum) (datum.Datum, error)
+}
+
+// Catalog is the collection of tables and functions visible to a query.
+type Catalog struct {
+	tables map[string]*Table
+	funcs  map[string]*FuncDef
+}
+
+// New returns an empty catalog pre-populated with the built-in scalar
+// functions.
+func New() *Catalog {
+	c := &Catalog{
+		tables: map[string]*Table{},
+		funcs:  map[string]*FuncDef{},
+	}
+	for _, f := range builtins() {
+		c.funcs[f.Name] = f
+	}
+	return c
+}
+
+// AddTable registers a table. It returns an error if the name is taken or
+// the definition is inconsistent.
+func (c *Catalog) AddTable(t *Table) error {
+	name := strings.ToUpper(t.Name)
+	if _, ok := c.tables[name]; ok {
+		return fmt.Errorf("catalog: table %s already exists", name)
+	}
+	for _, o := range t.PrimaryKey {
+		if o < 0 || o >= len(t.Cols) {
+			return fmt.Errorf("catalog: table %s: primary key ordinal %d out of range", name, o)
+		}
+	}
+	for _, fk := range t.ForeignKeys {
+		if len(fk.Cols) != len(fk.RefCols) {
+			return fmt.Errorf("catalog: table %s: foreign key arity mismatch", name)
+		}
+	}
+	t.Name = name
+	c.tables[name] = t
+	return nil
+}
+
+// Table resolves a table by name (case-insensitive). It returns nil if the
+// table does not exist.
+func (c *Catalog) Table(name string) *Table {
+	return c.tables[strings.ToUpper(name)]
+}
+
+// Tables returns all registered tables (unordered).
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddFunc registers a scalar function, replacing any existing definition
+// with the same (upper-cased) name.
+func (c *Catalog) AddFunc(f *FuncDef) {
+	f.Name = strings.ToUpper(f.Name)
+	c.funcs[f.Name] = f
+}
+
+// Func resolves a scalar function by name, or nil.
+func (c *Catalog) Func(name string) *FuncDef {
+	return c.funcs[strings.ToUpper(name)]
+}
+
+// FKFromTo returns the foreign key on child whose referenced table is
+// parent, or nil. Used by join elimination.
+func (c *Catalog) FKFromTo(child, parent *Table) *ForeignKey {
+	for i := range child.ForeignKeys {
+		fk := &child.ForeignKeys[i]
+		if strings.ToUpper(fk.RefTable) == parent.Name {
+			return fk
+		}
+	}
+	return nil
+}

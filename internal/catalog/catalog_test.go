@@ -1,0 +1,172 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+)
+
+func empTable() *Table {
+	return &Table{
+		Name: "EMP",
+		Cols: []Column{
+			{Name: "EMP_ID", Type: datum.KInt},
+			{Name: "DEPT_ID", Type: datum.KInt, Nullable: true},
+			{Name: "NAME", Type: datum.KString},
+		},
+		PrimaryKey: []int{0},
+		UniqueKeys: [][]int{{2}},
+		ForeignKeys: []ForeignKey{
+			{Cols: []int{1}, RefTable: "DEPT", RefCols: []int{0}},
+		},
+		Indexes: []*Index{
+			{Name: "EMP_PK", Cols: []int{0}, Unique: true},
+			{Name: "EMP_DEPT_NAME", Cols: []int{1, 2}},
+		},
+	}
+}
+
+func TestAddAndResolveTable(t *testing.T) {
+	c := New()
+	if err := c.AddTable(empTable()); err != nil {
+		t.Fatal(err)
+	}
+	if c.Table("emp") == nil || c.Table("EMP") == nil {
+		t.Error("case-insensitive table lookup")
+	}
+	if c.Table("nope") != nil {
+		t.Error("missing table should be nil")
+	}
+	if err := c.AddTable(empTable()); err == nil {
+		t.Error("duplicate table should error")
+	}
+	if len(c.Tables()) != 1 {
+		t.Errorf("tables = %d", len(c.Tables()))
+	}
+}
+
+func TestAddTableValidation(t *testing.T) {
+	c := New()
+	bad := empTable()
+	bad.Name = "BAD1"
+	bad.PrimaryKey = []int{99}
+	if err := c.AddTable(bad); err == nil {
+		t.Error("out-of-range PK ordinal should error")
+	}
+	bad2 := empTable()
+	bad2.Name = "BAD2"
+	bad2.ForeignKeys = []ForeignKey{{Cols: []int{0, 1}, RefTable: "X", RefCols: []int{0}}}
+	if err := c.AddTable(bad2); err == nil {
+		t.Error("FK arity mismatch should error")
+	}
+}
+
+func TestOrdinalAndRowid(t *testing.T) {
+	tb := empTable()
+	if tb.Ordinal("dept_id") != 1 {
+		t.Error("ordinal lookup is case-insensitive")
+	}
+	if tb.Ordinal("missing") != -1 {
+		t.Error("missing column")
+	}
+	if tb.RowidOrdinal() != 3 || tb.NumCols() != 3 {
+		t.Error("rowid follows declared columns")
+	}
+}
+
+func TestIsUniqueKey(t *testing.T) {
+	tb := empTable()
+	cases := []struct {
+		ords []int
+		want bool
+	}{
+		{[]int{0}, true},    // PK
+		{[]int{2}, true},    // declared unique
+		{[]int{0, 1}, true}, // superset of PK
+		{[]int{1}, false},   // plain column
+		{nil, false},        // empty set
+		{[]int{1, 2}, true}, // superset of unique key
+	}
+	for _, c := range cases {
+		if got := tb.IsUniqueKey(c.ords); got != c.want {
+			t.Errorf("IsUniqueKey(%v) = %v, want %v", c.ords, got, c.want)
+		}
+	}
+	// A unique index also counts.
+	tb2 := empTable()
+	tb2.PrimaryKey = nil
+	tb2.UniqueKeys = nil
+	if !tb2.IsUniqueKey([]int{0}) {
+		t.Error("unique index should qualify as key")
+	}
+}
+
+func TestFindIndex(t *testing.T) {
+	tb := empTable()
+	if idx := tb.FindIndex([]int{0}); idx == nil || idx.Name != "EMP_PK" {
+		t.Error("leading-column match")
+	}
+	if idx := tb.FindIndex([]int{1}); idx == nil || idx.Name != "EMP_DEPT_NAME" {
+		t.Error("prefix match on composite index")
+	}
+	if idx := tb.FindIndex([]int{2, 1}); idx == nil {
+		t.Error("order-insensitive prefix match")
+	}
+	if tb.FindIndex([]int{2}) != nil {
+		t.Error("non-leading column must not match")
+	}
+	if tb.FindIndex(nil) != nil {
+		t.Error("empty ordinal set")
+	}
+}
+
+func TestFuncRegistryOverride(t *testing.T) {
+	c := New()
+	c.AddFunc(&FuncDef{
+		Name: "custom_fn", MinArgs: 1, MaxArgs: 1, Expensive: true, CostPerCall: 9,
+		Eval: func(args []datum.Datum) (datum.Datum, error) { return args[0], nil },
+	})
+	f := c.Func("CUSTOM_FN")
+	if f == nil || !f.Expensive || f.Name != "CUSTOM_FN" {
+		t.Fatalf("custom function registration: %+v", f)
+	}
+	// Replacing a builtin is allowed.
+	c.AddFunc(&FuncDef{Name: "UPPER", MinArgs: 1, MaxArgs: 1,
+		Eval: func(args []datum.Datum) (datum.Datum, error) { return args[0], nil }})
+	if c.Func("upper").CostPerCall != 0 {
+		t.Error("override should replace the builtin")
+	}
+}
+
+func TestFKFromTo(t *testing.T) {
+	c := New()
+	dept := &Table{Name: "DEPT", Cols: []Column{{Name: "DEPT_ID", Type: datum.KInt}}, PrimaryKey: []int{0}}
+	if err := c.AddTable(dept); err != nil {
+		t.Fatal(err)
+	}
+	emp := empTable()
+	if err := c.AddTable(emp); err != nil {
+		t.Fatal(err)
+	}
+	fk := c.FKFromTo(emp, dept)
+	if fk == nil || fk.Cols[0] != 1 {
+		t.Fatalf("FK lookup: %+v", fk)
+	}
+	if c.FKFromTo(dept, emp) != nil {
+		t.Error("reverse direction has no FK")
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	st := &TableStats{RowCount: 10, Cols: []ColStats{{NDV: 5}}}
+	if st.Col(0).NDV != 5 {
+		t.Error("col stats")
+	}
+	if st.Col(3).NDV != 0 {
+		t.Error("out-of-range stats are zero")
+	}
+	var nilStats *TableStats
+	if nilStats.Col(0).NDV != 0 {
+		t.Error("nil stats are zero")
+	}
+}

@@ -1,0 +1,32 @@
+package catalog
+
+import "repro/internal/datum"
+
+// ColStats are optimizer statistics for one column.
+type ColStats struct {
+	NDV       int64 // number of distinct non-null values
+	NullCount int64
+	Min, Max  datum.Datum  // null when the column is entirely null or empty
+	Hist      []HistBucket // equi-height histogram (optional)
+}
+
+// HistBucket is one bucket of an equi-height histogram: Count rows have
+// values <= UpperBound (and > the previous bucket's bound).
+type HistBucket struct {
+	UpperBound datum.Datum
+	Count      int64
+}
+
+// TableStats are optimizer statistics for a table.
+type TableStats struct {
+	RowCount int64
+	Cols     []ColStats // indexed by column ordinal
+}
+
+// Col returns the stats for column ordinal i, or a zero value if absent.
+func (s *TableStats) Col(i int) ColStats {
+	if s == nil || i < 0 || i >= len(s.Cols) {
+		return ColStats{}
+	}
+	return s.Cols[i]
+}

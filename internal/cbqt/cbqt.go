@@ -1,0 +1,354 @@
+// Package cbqt implements the paper's central contribution: the cost-based
+// query transformation framework (§3). The driver applies the heuristic
+// transformations imperatively, then considers each cost-based
+// transformation in the paper's sequential order. For every transformation
+// it discovers the objects the transformation applies to, enumerates a
+// state space over those objects — a state assigns each object
+// "untransformed" or one of its variants (variants model interleaving and
+// juxtaposition, §3.3) — deep-copies the query per state, applies the
+// state, invokes the physical optimizer to cost it, and finally transfers
+// the directives of the winning state onto the original query tree.
+//
+// Four state-space search strategies are provided (§3.2): exhaustive,
+// iterative improvement, linear, and two-pass, with automatic selection
+// based on the number of objects. Optimization performance techniques from
+// §3.4 are implemented: cost cut-off, reuse of query sub-tree cost
+// annotations, and caching of expensive optimizer computations.
+package cbqt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/transform"
+)
+
+// Strategy selects the state-space search technique (§3.2).
+type Strategy int
+
+// Search strategies.
+const (
+	// StrategyAuto picks per the paper: exhaustive for small object
+	// counts, linear beyond ExhaustiveThreshold, two-pass when the total
+	// object count in the query exceeds TwoPassThreshold.
+	StrategyAuto Strategy = iota
+	StrategyExhaustive
+	StrategyIterative
+	StrategyLinear
+	StrategyTwoPass
+)
+
+var strategyNames = [...]string{
+	StrategyAuto: "auto", StrategyExhaustive: "exhaustive",
+	StrategyIterative: "iterative", StrategyLinear: "linear",
+	StrategyTwoPass: "two-pass",
+}
+
+func (s Strategy) String() string { return strategyNames[s] }
+
+// RuleMode controls how one transformation participates.
+type RuleMode int
+
+// Rule modes.
+const (
+	// RuleCostBased evaluates transformation states by cost (the default).
+	RuleCostBased RuleMode = iota
+	// RuleHeuristic applies the rule's pre-CBQT heuristic decision without
+	// costing (Oracle releases prior to 10g, §2.2.1).
+	RuleHeuristic
+	// RuleOff disables the transformation entirely.
+	RuleOff
+)
+
+// HeuristicDecider is implemented by rules that have a documented pre-CBQT
+// heuristic decision procedure; used in RuleHeuristic mode.
+type HeuristicDecider interface {
+	// HeuristicVariant returns the variant the heuristic would choose for
+	// object obj (0 = leave untransformed).
+	HeuristicVariant(q *qtree.Query, obj int) int
+}
+
+// Options configure the CBQT driver.
+type Options struct {
+	Strategy Strategy
+	// ExhaustiveThreshold is the largest per-transformation object count
+	// enumerated exhaustively under StrategyAuto (the paper: "if a query
+	// block contains a small number of subqueries, we use exhaustive
+	// search, but if the number exceeds a fixed threshold, linear").
+	ExhaustiveThreshold int
+	// TwoPassThreshold is the total transformation-object count in the
+	// query above which StrategyAuto degrades every search to two-pass.
+	TwoPassThreshold int
+	// IterativeRestarts and IterativeMaxStates bound iterative improvement.
+	IterativeRestarts  int
+	IterativeMaxStates int
+	// CostCutoff enables abandoning states whose cost exceeds the best
+	// found so far (§3.4.1).
+	CostCutoff bool
+	// AnnotationReuse enables reuse of query sub-tree cost annotations
+	// across states (§3.4.2).
+	AnnotationReuse bool
+	// SkipHeuristics disables the imperative transformation phase
+	// (for experiments that isolate one transformation).
+	SkipHeuristics bool
+	// DisableMergeUnnest turns off the imperative merge flavour of
+	// subquery unnesting (used to disable unnesting completely, Figure 3).
+	DisableMergeUnnest bool
+	// RuleModes overrides the participation of individual rules by name.
+	RuleModes map[string]RuleMode
+	// Rules overrides the cost-based rule sequence (defaults to
+	// transform.CostBasedRules).
+	Rules []transform.Rule
+	// Seed drives the iterative strategy's pseudo-random walk.
+	Seed int64
+	// Trace records every state evaluated (rule, state vector, cost) in
+	// Stats.Trace; used by the CLI's -trace flag and by examples.
+	Trace bool
+}
+
+// DefaultOptions mirror the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		Strategy:            StrategyAuto,
+		ExhaustiveThreshold: 4,
+		TwoPassThreshold:    10,
+		IterativeRestarts:   3,
+		IterativeMaxStates:  24,
+		CostCutoff:          true,
+		AnnotationReuse:     true,
+		Seed:                1,
+	}
+}
+
+// Stats reports the work done during one optimization.
+type Stats struct {
+	// StatesEvaluated counts transformation states costed (state (0,..)
+	// included), summed over all transformations.
+	StatesEvaluated int
+	// StatesByRule breaks StatesEvaluated down per transformation.
+	StatesByRule map[string]int
+	// BlocksOptimized counts query blocks costed by the physical
+	// optimizer, excluding those avoided by annotation reuse.
+	BlocksOptimized int
+	// AnnotationHits counts block optimizations avoided by reuse (§3.4.2).
+	AnnotationHits int
+	// OptimizeTime is the total time spent in the driver and physical
+	// optimizer.
+	OptimizeTime time.Duration
+	// Trace lists every state evaluated when Options.Trace is set.
+	Trace []StateEval
+}
+
+// StateEval is one costed transformation state: the paper's (0,1,...)
+// notation rendered as a digit string, with its estimated cost (infinite
+// when the state was abandoned by the cost cut-off).
+type StateEval struct {
+	Rule  string
+	State string
+	Cost  float64
+}
+
+// Optimizer is the CBQT-enabled query optimizer.
+type Optimizer struct {
+	Cat  *catalog.Catalog
+	Opts Options
+}
+
+// New creates an optimizer with default options.
+func New(cat *catalog.Catalog) *Optimizer {
+	return &Optimizer{Cat: cat, Opts: DefaultOptions()}
+}
+
+// Result is the outcome of CBQT optimization.
+type Result struct {
+	// Query is the transformed query tree (the input query mutated by the
+	// winning transformation directives).
+	Query *qtree.Query
+	// Plan is the final physical plan for the transformed query.
+	Plan  *optimizer.Plan
+	Stats Stats
+}
+
+// Optimize runs heuristic transformations, cost-based transformation with
+// state-space search, and final physical optimization. The input query is
+// mutated (the chosen directives are applied to it).
+func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
+	start := time.Now()
+	stats := Stats{StatesByRule: map[string]int{}}
+
+	if !o.Opts.SkipHeuristics {
+		if err := o.applyHeuristics(q); err != nil {
+			return nil, err
+		}
+	}
+
+	var cache *optimizer.CostCache
+	if o.Opts.AnnotationReuse {
+		cache = optimizer.NewCostCache()
+	}
+
+	rules := o.Opts.Rules
+	if rules == nil {
+		rules = transform.CostBasedRules()
+	}
+
+	// Total object count decides the two-pass degradation (§3.2).
+	totalObjects := 0
+	for _, r := range rules {
+		if o.mode(r) == RuleOff {
+			continue
+		}
+		totalObjects += r.Find(q)
+	}
+
+	for _, r := range rules {
+		switch o.mode(r) {
+		case RuleOff:
+			continue
+		case RuleHeuristic:
+			if err := o.applyRuleHeuristically(q, r); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		n := r.Find(q)
+		if n == 0 {
+			continue
+		}
+		strat := o.pickStrategy(n, totalObjects)
+		best, states, err := o.search(q, r, n, strat, cache, &stats)
+		if err != nil {
+			return nil, err
+		}
+		stats.StatesEvaluated += states
+		stats.StatesByRule[r.Name()] += states
+		// Transfer the winning directives onto the original tree (§3.1).
+		if !best.isZero() {
+			if err := applyState(q, r, best); err != nil {
+				return nil, fmt.Errorf("cbqt: applying best state of %s: %w", r.Name(), err)
+			}
+			if !o.Opts.SkipHeuristics {
+				if err := o.applyHeuristics(q); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Final physical optimization of the chosen form. Its block count is
+	// not added to Stats.BlocksOptimized, which measures state-space
+	// evaluation work (Table 1).
+	p := optimizer.New(o.Cat)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	stats.OptimizeTime = time.Since(start)
+	return &Result{Query: q, Plan: plan, Stats: stats}, nil
+}
+
+func (o *Optimizer) applyHeuristics(q *qtree.Query) error {
+	if o.Opts.DisableMergeUnnest {
+		// Run the heuristic set minus merge unnesting.
+		for pass := 0; pass < 10; pass++ {
+			changed := false
+			for _, r := range transform.Heuristics() {
+				if _, isUnnest := r.(*transform.UnnestMerge); isUnnest {
+					continue
+				}
+				ch, err := r.Apply(q)
+				if err != nil {
+					return err
+				}
+				changed = changed || ch
+			}
+			if !changed {
+				return nil
+			}
+		}
+		return nil
+	}
+	return transform.ApplyHeuristics(q)
+}
+
+func (o *Optimizer) mode(r transform.Rule) RuleMode {
+	if m, ok := o.Opts.RuleModes[r.Name()]; ok {
+		return m
+	}
+	return RuleCostBased
+}
+
+// applyRuleHeuristically applies the rule's pre-CBQT heuristic decision to
+// every object (releases prior to Oracle 10g, §2.2.1).
+func (o *Optimizer) applyRuleHeuristically(q *qtree.Query, r transform.Rule) error {
+	hd, ok := r.(HeuristicDecider)
+	if !ok {
+		return nil // no heuristic counterpart: leave untransformed
+	}
+	// Objects shift as transformations apply; re-discover each round.
+	for guard := 0; guard < 32; guard++ {
+		n := r.Find(q)
+		applied := false
+		for obj := 0; obj < n; obj++ {
+			v := hd.HeuristicVariant(q, obj)
+			if v == 0 {
+				continue
+			}
+			if err := r.Apply(q, obj, v); err != nil {
+				continue // treat as inapplicable
+			}
+			applied = true
+			break // re-discover objects after mutation
+		}
+		if !applied {
+			return nil
+		}
+	}
+	return nil
+}
+
+// pickStrategy implements the automatic selection (§3.2).
+func (o *Optimizer) pickStrategy(n, totalObjects int) Strategy {
+	if o.Opts.Strategy != StrategyAuto {
+		return o.Opts.Strategy
+	}
+	if totalObjects > o.Opts.TwoPassThreshold {
+		return StrategyTwoPass
+	}
+	if n <= o.Opts.ExhaustiveThreshold {
+		return StrategyExhaustive
+	}
+	return StrategyLinear
+}
+
+// state assigns a variant (0 = untransformed) to each object.
+type state []int
+
+func (s state) isZero() bool {
+	for _, v := range s {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s state) clone() state { return append(state(nil), s...) }
+
+// applyState deep-applies a state to query q in place.
+func applyState(q *qtree.Query, r transform.Rule, s state) error {
+	// Objects are applied from the last to the first so earlier object
+	// indexes remain valid as the tree mutates.
+	for obj := len(s) - 1; obj >= 0; obj-- {
+		if s[obj] == 0 {
+			continue
+		}
+		if err := r.Apply(q, obj, s[obj]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,34 @@
+package cbqt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+	"repro/internal/workload"
+)
+
+func TestRandomQueryEquivalenceManySeeds(t *testing.T) {
+	for _, seed := range []int64{7, 41, 137, 911, 2718} {
+		db := testkit.NewDB(testkit.SmallSizes(), seed)
+		s := testkit.SmallSizes()
+		cfg := workload.DefaultConfig(0, 0, s.Employees, s.Departments, s.Jobs)
+		rng := rand.New(rand.NewSource(seed * 31))
+		for i := 0; i < 150; i++ {
+			src := workload.RandomQuery(rng, cfg)
+			q, err := qtree.BindSQL(src, db.Catalog)
+			if err != nil {
+				t.Fatalf("seed %d query %d does not bind: %v\nsql: %s", seed, i, err, src)
+			}
+			baseline := run(t, db, q)
+			opts := DefaultOptions()
+			opts.Strategy = StrategyExhaustive
+			got, res := runCBQT(t, db, src, opts)
+			if !equalStrs(got, baseline) {
+				t.Fatalf("seed %d query %d changed semantics\nsql: %s\ntransformed: %s\nwant %v\ngot  %v",
+					seed, i, src, res.Query.SQL(), trunc(baseline), trunc(got))
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package cbqt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// TestWorkloadEquivalenceProperty is the repository's strongest end-to-end
+// property: for a stream of generated workload queries, every CBQT
+// configuration — all four search strategies, heuristic-decision mode, and
+// transformations disabled — must return exactly the same result multiset
+// as the untransformed plan. This exercises the full pipeline (parser,
+// binder, every transformation the state search explores, the physical
+// optimizer, and the executor) against data containing NULLs.
+func TestWorkloadEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := testkit.NewDB(testkit.SmallSizes(), 11)
+	s := testkit.SmallSizes()
+	cfg := workload.DefaultConfig(17, 0, s.Employees, s.Departments, s.Jobs)
+
+	perClass := 4
+	for _, class := range append([]workload.Class{workload.ClassSPJ}, workload.RelevantClasses...) {
+		qs := workload.GenerateClass(int64(1000)+int64(len(class)), perClass, cfg, class)
+		for _, wq := range qs {
+			baseline := run(t, db, qtree.MustBind(wq.SQL, db.Catalog))
+
+			for _, strat := range []Strategy{StrategyExhaustive, StrategyIterative, StrategyLinear, StrategyTwoPass} {
+				opts := DefaultOptions()
+				opts.Strategy = strat
+				got, res := runCBQT(t, db, wq.SQL, opts)
+				if !equalStrs(got, baseline) {
+					t.Fatalf("class %s strategy %v changed semantics\nsql: %s\ntransformed: %s\nwant (%d rows) %v\ngot  (%d rows) %v",
+						class, strat, wq.SQL, res.Query.SQL(), len(baseline), trunc(baseline), len(got), trunc(got))
+				}
+			}
+
+			heur := DefaultOptions()
+			heur.RuleModes = map[string]RuleMode{}
+			for _, r := range transform.CostBasedRules() {
+				heur.RuleModes[r.Name()] = RuleHeuristic
+			}
+			got, res := runCBQT(t, db, wq.SQL, heur)
+			if !equalStrs(got, baseline) {
+				t.Fatalf("class %s heuristic mode changed semantics\nsql: %s\ntransformed: %s\nwant %v\ngot  %v",
+					class, wq.SQL, res.Query.SQL(), trunc(baseline), trunc(got))
+			}
+		}
+	}
+}
+
+func trunc(rows []string) []string {
+	if len(rows) > 12 {
+		return append(append([]string(nil), rows[:12]...), "...")
+	}
+	return rows
+}
+
+// TestOrderedQueriesPreserveOrder verifies that ORDER BY results survive
+// transformation: the ordered prefix must be identical, not just the
+// multiset.
+func TestOrderedQueriesPreserveOrder(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 11)
+	queries := []string{
+		// Pullup family: view order by + rownum.
+		`SELECT v.acct_id, v.balance FROM
+		 (SELECT a.acct_id acct_id, a.balance balance, a.create_date cd, a.rowid rid
+		  FROM accounts a WHERE a.balance > 100 ORDER BY a.create_date, a.rowid) v
+		 WHERE rownum <= 7`,
+		// Top-level order by over a transformed body.
+		`SELECT e.employee_name n, e.salary s FROM employees e
+		 WHERE e.dept_id IN (SELECT d.dept_id FROM departments d, locations l
+		                     WHERE d.loc_id = l.loc_id AND l.country_id = 'US')
+		 ORDER BY e.salary DESC, e.emp_id`,
+	}
+	for _, src := range queries {
+		baseQ := qtree.MustBind(src, db.Catalog)
+		want := runOrdered(t, db, baseQ)
+		got, res := runCBQTOrdered(t, db, src, DefaultOptions())
+		if len(want) != len(got) {
+			t.Fatalf("row count changed: %d vs %d\nsql: %s", len(want), len(got), src)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("order changed at row %d\nsql: %s\ntransformed: %s\nwant %v\ngot  %v",
+					i, src, res.Query.SQL(), want, got)
+			}
+		}
+	}
+}
+
+// TestRandomQueryEquivalence fuzzes the whole pipeline: pseudo-random
+// queries over the schema's join graph, each executed under the baseline
+// (no CBQT) and under exhaustive cost-based transformation. Results must
+// match exactly.
+func TestRandomQueryEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	db := testkit.NewDB(testkit.SmallSizes(), 23)
+	s := testkit.SmallSizes()
+	cfg := workload.DefaultConfig(0, 0, s.Employees, s.Departments, s.Jobs)
+	rng := rand.New(rand.NewSource(99))
+	n := 250
+	for i := 0; i < n; i++ {
+		src := workload.RandomQuery(rng, cfg)
+		q, err := qtree.BindSQL(src, db.Catalog)
+		if err != nil {
+			t.Fatalf("generated query does not bind: %v\nsql: %s", err, src)
+		}
+		baseline := run(t, db, q)
+
+		opts := DefaultOptions()
+		opts.Strategy = StrategyExhaustive
+		got, res := runCBQT(t, db, src, opts)
+		if !equalStrs(got, baseline) {
+			t.Fatalf("random query %d changed semantics\nsql: %s\ntransformed: %s\nwant (%d rows) %v\ngot  (%d rows) %v",
+				i, src, res.Query.SQL(), len(baseline), trunc(baseline), len(got), trunc(got))
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package cbqt
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/transform"
+)
+
+// infeasible marks states whose transformation could not be applied.
+var errInfeasible = errors.New("cbqt: state infeasible")
+
+// evalState deep-copies the query, applies the state, re-runs the
+// imperative transformations that the new constructs may enable (§3.1), and
+// invokes the physical optimizer in cost-only mode.
+func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *optimizer.CostCache, cutoff float64, stats *Stats) (float64, error) {
+	clone, _ := q.Clone()
+	if err := applyState(clone, r, s); err != nil {
+		return 0, errInfeasible
+	}
+	if !o.Opts.SkipHeuristics && !s.isZero() {
+		if err := o.applyHeuristics(clone); err != nil {
+			return 0, err
+		}
+	}
+	p := optimizer.New(o.Cat)
+	p.CostOnly = true
+	p.Cache = cache
+	if o.Opts.CostCutoff && cutoff > 0 && !math.IsInf(cutoff, 1) {
+		p.Cutoff = cutoff
+	}
+	plan, err := p.Optimize(clone)
+	stats.BlocksOptimized += p.Counters.BlocksOptimized
+	stats.AnnotationHits += p.Counters.CacheHits
+	if err != nil {
+		if errors.Is(err, optimizer.ErrCutoff) {
+			// §3.4.1: the state exceeded the best cost; abandon it.
+			if o.Opts.Trace {
+				stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: math.Inf(1)})
+			}
+			return math.Inf(1), nil
+		}
+		return 0, err
+	}
+	if o.Opts.Trace {
+		stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: plan.Cost.Total})
+	}
+	return plan.Cost.Total, nil
+}
+
+// search runs the chosen strategy and returns the best state found plus
+// the number of states evaluated.
+func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strategy, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+	variants := make([]int, n)
+	for i := 0; i < n; i++ {
+		variants[i] = r.Variants(q, i)
+	}
+	switch strat {
+	case StrategyExhaustive:
+		return o.searchExhaustive(q, r, variants, cache, stats)
+	case StrategyLinear:
+		return o.searchLinear(q, r, variants, cache, stats)
+	case StrategyTwoPass:
+		return o.searchTwoPass(q, r, variants, cache, stats)
+	case StrategyIterative:
+		return o.searchIterative(q, r, variants, cache, stats)
+	}
+	return o.searchExhaustive(q, r, variants, cache, stats)
+}
+
+// searchExhaustive enumerates every combination: with binary objects that
+// is the paper's 2^N states; with V-variant objects, prod(V_i + 1).
+func (o *Optimizer) searchExhaustive(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+	n := len(variants)
+	cur := make(state, n)
+	best := cur.clone()
+	bestCost := math.Inf(1)
+	count := 0
+	for {
+		cost, err := o.evalState(q, r, cur, cache, bestCost, stats)
+		if err == nil {
+			count++
+			if cost < bestCost {
+				bestCost = cost
+				best = cur.clone()
+			}
+		} else if !errors.Is(err, errInfeasible) {
+			return nil, count, err
+		}
+		// Advance mixed-radix counter.
+		i := 0
+		for i < n {
+			cur[i]++
+			if cur[i] <= variants[i] {
+				break
+			}
+			cur[i] = 0
+			i++
+		}
+		if i == n {
+			return best, count, nil
+		}
+	}
+}
+
+// searchLinear implements the dynamic-programming style linear search
+// (§3.2): it fixes objects one at a time, keeping a transformation of
+// object i only if it lowers the cost given the decisions already made.
+// It evaluates N+1 states for binary objects.
+func (o *Optimizer) searchLinear(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+	n := len(variants)
+	cur := make(state, n)
+	bestCost, err := o.evalState(q, r, cur, cache, 0, stats)
+	if err != nil {
+		return nil, 1, err
+	}
+	count := 1
+	for i := 0; i < n; i++ {
+		bestV := 0
+		for v := 1; v <= variants[i]; v++ {
+			trial := cur.clone()
+			trial[i] = v
+			cost, err := o.evalState(q, r, trial, cache, bestCost, stats)
+			if errors.Is(err, errInfeasible) {
+				continue
+			}
+			if err != nil {
+				return nil, count, err
+			}
+			count++
+			if cost < bestCost {
+				bestCost = cost
+				bestV = v
+			}
+		}
+		cur[i] = bestV
+	}
+	return cur, count, nil
+}
+
+// searchTwoPass compares only the all-untransformed and all-transformed
+// states (§3.2).
+func (o *Optimizer) searchTwoPass(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+	n := len(variants)
+	zero := make(state, n)
+	zeroCost, err := o.evalState(q, r, zero, cache, 0, stats)
+	if err != nil {
+		return nil, 1, err
+	}
+	count := 1
+	all := make(state, n)
+	for i := range all {
+		all[i] = 1 // first variant of every object
+	}
+	allCost, err := o.evalState(q, r, all, cache, zeroCost, stats)
+	if errors.Is(err, errInfeasible) {
+		return zero, count, nil
+	}
+	if err != nil {
+		return nil, count, err
+	}
+	count++
+	if allCost < zeroCost {
+		return all, count, nil
+	}
+	return zero, count, nil
+}
+
+// searchIterative performs iterative improvement (§3.2): from a random
+// initial state, repeatedly move to a cheaper neighbour (one object
+// changed) until a local minimum; restart with a different initial state,
+// bounded by IterativeRestarts and IterativeMaxStates.
+func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+	n := len(variants)
+	rng := rand.New(rand.NewSource(o.Opts.Seed))
+	seen := map[string]bool{}
+	count := 0
+	best := make(state, n)
+	bestCost := math.Inf(1)
+
+	eval := func(s state) (float64, bool, error) {
+		key := stateKey(s)
+		if seen[key] {
+			return 0, false, nil
+		}
+		seen[key] = true
+		cost, err := o.evalState(q, r, s, cache, bestCost, stats)
+		if errors.Is(err, errInfeasible) {
+			return math.Inf(1), true, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		count++
+		return cost, true, nil
+	}
+
+	// Always include the untransformed state.
+	zero := make(state, n)
+	cost, _, err := eval(zero)
+	if err != nil {
+		return nil, count, err
+	}
+	best, bestCost = zero.clone(), cost
+
+	for restart := 0; restart < o.Opts.IterativeRestarts && count < o.Opts.IterativeMaxStates; restart++ {
+		cur := make(state, n)
+		for i := range cur {
+			cur[i] = rng.Intn(variants[i] + 1)
+		}
+		curCost, fresh, err := eval(cur)
+		if err != nil {
+			return nil, count, err
+		}
+		if !fresh {
+			continue
+		}
+		// Hill-climb to a local minimum.
+		improved := true
+		for improved && count < o.Opts.IterativeMaxStates {
+			improved = false
+			for i := 0; i < n && count < o.Opts.IterativeMaxStates; i++ {
+				for v := 0; v <= variants[i]; v++ {
+					if v == cur[i] {
+						continue
+					}
+					nb := cur.clone()
+					nb[i] = v
+					nbCost, fresh, err := eval(nb)
+					if err != nil {
+						return nil, count, err
+					}
+					if fresh && nbCost < curCost {
+						cur, curCost = nb, nbCost
+						improved = true
+					}
+				}
+			}
+		}
+		if curCost < bestCost {
+			best, bestCost = cur.clone(), curCost
+		}
+	}
+	return best, count, nil
+}
+
+func stateKey(s state) string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte('0' + v)
+	}
+	return string(b)
+}
+
+// Quiet references to keep imports stable across refactors.
+var _ = qtree.JoinInner

@@ -1,0 +1,222 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+)
+
+// aggState accumulates one aggregate for one group.
+type aggState struct {
+	spec     optimizer.AggSpec
+	count    int64
+	sum      datum.Datum
+	min, max datum.Datum
+	distinct map[string]bool
+}
+
+func newAggState(spec optimizer.AggSpec) *aggState {
+	s := &aggState{spec: spec, sum: datum.Null, min: datum.Null, max: datum.Null}
+	if spec.Distinct {
+		s.distinct = map[string]bool{}
+	}
+	return s
+}
+
+func (s *aggState) add(v datum.Datum) error {
+	if s.spec.Star {
+		s.count++
+		return nil
+	}
+	if v.IsNull() {
+		return nil // aggregates ignore NULLs
+	}
+	if s.distinct != nil {
+		k := v.Key()
+		if s.distinct[k] {
+			return nil
+		}
+		s.distinct[k] = true
+	}
+	s.count++
+	switch s.spec.Op {
+	case qtree.AggCount:
+	case qtree.AggSum, qtree.AggAvg:
+		if s.sum.IsNull() {
+			s.sum = v
+		} else {
+			sum, err := datum.Add(s.sum, v)
+			if err != nil {
+				return err
+			}
+			s.sum = sum
+		}
+	case qtree.AggMin:
+		if s.min.IsNull() || datum.MustCompare(v, s.min) < 0 {
+			s.min = v
+		}
+	case qtree.AggMax:
+		if s.max.IsNull() || datum.MustCompare(v, s.max) > 0 {
+			s.max = v
+		}
+	}
+	return nil
+}
+
+func (s *aggState) result() datum.Datum {
+	switch s.spec.Op {
+	case qtree.AggCount:
+		return datum.NewInt(s.count)
+	case qtree.AggSum:
+		return s.sum
+	case qtree.AggAvg:
+		if s.count == 0 || s.sum.IsNull() {
+			return datum.Null
+		}
+		return datum.NewFloat(s.sum.Float() / float64(s.count))
+	case qtree.AggMin:
+		return s.min
+	case qtree.AggMax:
+		return s.max
+	}
+	return datum.Null
+}
+
+// aggIter is hash aggregation with optional grouping sets (ROLLUP /
+// GROUPING SETS are executed as one aggregation per set over the same
+// input, with non-member grouping columns null).
+type aggIter struct {
+	e     *env
+	n     *optimizer.Agg
+	child iterator
+
+	out []Row
+	pos int
+}
+
+func newAgg(e *env, n *optimizer.Agg, child iterator) *aggIter {
+	return &aggIter{e: e, n: n, child: child}
+}
+
+type aggGroup struct {
+	gbVals Row
+	states []*aggState
+}
+
+func (it *aggIter) Open(outer *Ctx) error {
+	if err := it.child.Open(outer); err != nil {
+		return err
+	}
+	it.out = nil
+	it.pos = 0
+	ctx := &Ctx{parent: outer, cols: colMap(it.n.Child.Columns())}
+
+	sets := it.n.GroupingSets
+	if sets == nil {
+		full := make([]int, len(it.n.GroupBy))
+		for i := range full {
+			full[i] = i
+		}
+		sets = [][]int{full}
+	}
+	// groups[setIdx][key] -> group
+	groups := make([]map[string]*aggGroup, len(sets))
+	order := make([][]string, len(sets))
+	for i := range groups {
+		groups[i] = map[string]*aggGroup{}
+	}
+
+	for {
+		r, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		ctx.row = r
+		// Evaluate grouping columns once.
+		gbVals := make(Row, len(it.n.GroupBy))
+		for i, g := range it.n.GroupBy {
+			d, err := it.e.evalExpr(g, ctx)
+			if err != nil {
+				return err
+			}
+			gbVals[i] = d
+		}
+		// Evaluate aggregate arguments once.
+		argVals := make(Row, len(it.n.Aggs))
+		for i, a := range it.n.Aggs {
+			if a.Star || a.Arg == nil {
+				continue
+			}
+			d, err := it.e.evalExpr(a.Arg, ctx)
+			if err != nil {
+				return err
+			}
+			argVals[i] = d
+		}
+		for si, set := range sets {
+			masked := make(Row, len(it.n.GroupBy))
+			for i := range masked {
+				masked[i] = datum.Null
+			}
+			for _, gi := range set {
+				masked[gi] = gbVals[gi]
+			}
+			key := rowKey(masked)
+			g, ok := groups[si][key]
+			if !ok {
+				g = &aggGroup{gbVals: masked}
+				for _, spec := range it.n.Aggs {
+					g.states = append(g.states, newAggState(spec))
+				}
+				groups[si][key] = g
+				order[si] = append(order[si], key)
+			}
+			for i := range it.n.Aggs {
+				if err := g.states[i].add(argVals[i]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Scalar aggregation over empty input produces one row.
+	if len(it.n.GroupBy) == 0 && len(groups[0]) == 0 {
+		g := &aggGroup{gbVals: Row{}}
+		for _, spec := range it.n.Aggs {
+			g.states = append(g.states, newAggState(spec))
+		}
+		groups[0][""] = g
+		order[0] = append(order[0], "")
+	}
+
+	for si := range groups {
+		for _, key := range order[si] {
+			g := groups[si][key]
+			row := make(Row, 0, len(g.gbVals)+len(g.states))
+			row = append(row, g.gbVals...)
+			for _, s := range g.states {
+				row = append(row, s.result())
+			}
+			it.out = append(it.out, row)
+		}
+	}
+	return nil
+}
+
+func (it *aggIter) Next() (Row, error) {
+	if it.pos >= len(it.out) {
+		return nil, nil
+	}
+	r := it.out[it.pos]
+	it.pos++
+	return r, nil
+}
+
+func (it *aggIter) Close() error { return it.child.Close() }
+
+var _ = fmt.Sprintf // reserved for error formatting extensions

@@ -1,0 +1,195 @@
+// Package exec implements the volcano-style execution engine that
+// interprets physical plans from package optimizer against the in-memory
+// storage engine: sequential and index scans, filters with correlated
+// subquery evaluation under tuple iteration semantics with result caching
+// (§2.1.1), nested-loops / hash / sort-merge joins with inner, semi, anti,
+// null-aware anti and left outer variants (semijoin and antijoin have the
+// stop-at-first-match property and cache results for duplicate left keys,
+// as the paper describes), hash aggregation with grouping sets, distinct,
+// sort, rownum limits and set operations.
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// Row is one result row.
+type Row []datum.Datum
+
+// Ctx resolves column references at runtime. Each operator exposes its
+// current row under its output schema; parent links provide correlation
+// (outer rows) for subqueries, lateral views and index probes.
+type Ctx struct {
+	parent *Ctx
+	cols   map[optimizer.ColID]int
+	row    Row
+}
+
+// lookup resolves a column through the context chain.
+func (c *Ctx) lookup(id optimizer.ColID) (datum.Datum, bool) {
+	for cur := c; cur != nil; cur = cur.parent {
+		if cur.cols != nil {
+			if i, ok := cur.cols[id]; ok {
+				return cur.row[i], true
+			}
+		}
+	}
+	return datum.Null, false
+}
+
+// env carries run-wide state.
+type env struct {
+	db   *storage.DB
+	plan *optimizer.Plan
+	// subqCache memoizes subquery predicate results under tuple iteration
+	// semantics, keyed per subquery by correlation and left-hand values.
+	subqCache map[*qtree.Subq]map[string]datum.Datum
+	// subqIters holds the compiled iterator per subquery expression.
+	subqIters map[*qtree.Subq]*subqRuntime
+	// SubqExecs counts subquery executions (cache misses); tests use it to
+	// verify TIS caching.
+	SubqExecs int
+}
+
+// iterator is the volcano operator interface.
+type iterator interface {
+	// Open prepares the iterator; outer supplies correlation bindings.
+	Open(outer *Ctx) error
+	// Next returns the next row, or nil at end of input.
+	Next() (Row, error)
+	Close() error
+}
+
+// Result holds the rows produced by a query along with column names.
+type Result struct {
+	Rows []Row
+}
+
+// Run executes a plan against the database and returns all rows.
+func Run(db *storage.DB, plan *optimizer.Plan) (*Result, error) {
+	e := &env{db: db, plan: plan, subqCache: map[*qtree.Subq]map[string]datum.Datum{}}
+	it, err := build(e, plan.Root)
+	if err != nil {
+		return nil, err
+	}
+	if err := it.Open(nil); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	res := &Result{}
+	for {
+		r, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if r == nil {
+			return res, nil
+		}
+		res.Rows = append(res.Rows, r)
+	}
+}
+
+// colMap builds the ColID→slot map for a schema.
+func colMap(cols []optimizer.ColID) map[optimizer.ColID]int {
+	m := make(map[optimizer.ColID]int, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	return m
+}
+
+// build constructs the iterator tree for a plan node.
+func build(e *env, n optimizer.PlanNode) (iterator, error) {
+	switch v := n.(type) {
+	case *optimizer.SeqScan:
+		return newSeqScan(e, v), nil
+	case *optimizer.IndexScan:
+		return newIndexScan(e, v)
+	case *optimizer.Filter:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newFilter(e, v, child), nil
+	case *optimizer.Project:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newProject(e, v, child), nil
+	case *optimizer.Join:
+		l, err := build(e, v.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := build(e, v.R)
+		if err != nil {
+			return nil, err
+		}
+		switch v.Method {
+		case optimizer.MethodHash:
+			return newHashJoin(e, v, l, r), nil
+		case optimizer.MethodMerge:
+			return newMergeJoin(e, v, l, r), nil
+		default:
+			return newNLJoin(e, v, l, r), nil
+		}
+	case *optimizer.Agg:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newAgg(e, v, child), nil
+	case *optimizer.Window:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newWindow(e, v, child), nil
+	case *optimizer.Distinct:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newDistinct(child), nil
+	case *optimizer.Sort:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return newSort(e, v, child), nil
+	case *optimizer.Limit:
+		child, err := build(e, v.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &limitIter{child: child, n: v.N}, nil
+	case *optimizer.SetNode:
+		var kids []iterator
+		for _, in := range v.Inputs {
+			k, err := build(e, in)
+			if err != nil {
+				return nil, err
+			}
+			kids = append(kids, k)
+		}
+		return newSetOp(v, kids), nil
+	}
+	return nil, fmt.Errorf("exec: cannot execute node %T (cost-only stub?)", n)
+}
+
+// rowKey renders a row as a grouping key (nulls match nulls).
+func rowKey(r Row) string {
+	var sb strings.Builder
+	for _, d := range r {
+		sb.WriteString(d.Key())
+		sb.WriteByte(0x1f)
+	}
+	return sb.String()
+}

@@ -1,0 +1,267 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+)
+
+// evalExpr evaluates a scalar expression in a row context.
+func (e *env) evalExpr(x qtree.Expr, ctx *Ctx) (datum.Datum, error) {
+	switch v := x.(type) {
+	case *qtree.Const:
+		return v.Val, nil
+
+	case *qtree.Col:
+		d, ok := ctx.lookup(optimizer.ColID{From: v.From, Ord: v.Ord})
+		if !ok {
+			return datum.Null, fmt.Errorf("exec: unresolved column q%d.%s(#%d)", v.From, v.Name, v.Ord)
+		}
+		return d, nil
+
+	case *qtree.Bin:
+		return e.evalBin(v, ctx)
+
+	case *qtree.Not:
+		t, err := e.evalBool(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		return t.Not().Datum(), nil
+
+	case *qtree.IsNull:
+		d, err := e.evalExpr(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		res := d.IsNull()
+		if v.Neg {
+			res = !res
+		}
+		return datum.NewBool(res), nil
+
+	case *qtree.Like:
+		s, err := e.evalExpr(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		p, err := e.evalExpr(v.Pattern, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		if s.IsNull() || p.IsNull() {
+			return datum.Null, nil
+		}
+		m := likeMatch(s.Str(), p.Str())
+		if v.Neg {
+			m = !m
+		}
+		return datum.NewBool(m), nil
+
+	case *qtree.InList:
+		lhs, err := e.evalExpr(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		res := datum.False
+		for _, ve := range v.Vals {
+			rhs, err := e.evalExpr(ve, ctx)
+			if err != nil {
+				return datum.Null, err
+			}
+			res = res.Or(cmp3(lhs, rhs, qtree.OpEq))
+			if res == datum.True {
+				break
+			}
+		}
+		if v.Neg {
+			res = res.Not()
+		}
+		return res.Datum(), nil
+
+	case *qtree.Func:
+		args := make([]datum.Datum, len(v.Args))
+		for i, a := range v.Args {
+			d, err := e.evalExpr(a, ctx)
+			if err != nil {
+				return datum.Null, err
+			}
+			args[i] = d
+		}
+		return v.Def.Eval(args)
+
+	case *qtree.LNNVL:
+		t, err := e.evalBool(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewBool(t.LNNVL()), nil
+
+	case *qtree.IsTrue:
+		t, err := e.evalBool(v.E, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		return datum.NewBool(t.Accept()), nil
+
+	case *qtree.Case:
+		for _, w := range v.Whens {
+			t, err := e.evalBool(w.Cond, ctx)
+			if err != nil {
+				return datum.Null, err
+			}
+			if t.Accept() {
+				return e.evalExpr(w.Result, ctx)
+			}
+		}
+		if v.Else != nil {
+			return e.evalExpr(v.Else, ctx)
+		}
+		return datum.Null, nil
+
+	case *qtree.Subq:
+		return e.evalSubq(v, ctx)
+
+	case *qtree.Agg:
+		return datum.Null, fmt.Errorf("exec: aggregate outside aggregation context")
+	}
+	return datum.Null, fmt.Errorf("exec: cannot evaluate %T", x)
+}
+
+func (e *env) evalBin(v *qtree.Bin, ctx *Ctx) (datum.Datum, error) {
+	switch v.Op {
+	case qtree.OpAnd, qtree.OpOr:
+		l, err := e.evalBool(v.L, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		// Short circuit.
+		if v.Op == qtree.OpAnd && l == datum.False {
+			return datum.NewBool(false), nil
+		}
+		if v.Op == qtree.OpOr && l == datum.True {
+			return datum.NewBool(true), nil
+		}
+		r, err := e.evalBool(v.R, ctx)
+		if err != nil {
+			return datum.Null, err
+		}
+		if v.Op == qtree.OpAnd {
+			return l.And(r).Datum(), nil
+		}
+		return l.Or(r).Datum(), nil
+	}
+	l, err := e.evalExpr(v.L, ctx)
+	if err != nil {
+		return datum.Null, err
+	}
+	r, err := e.evalExpr(v.R, ctx)
+	if err != nil {
+		return datum.Null, err
+	}
+	switch v.Op {
+	case qtree.OpAdd:
+		return datum.Add(l, r)
+	case qtree.OpSub:
+		return datum.Sub(l, r)
+	case qtree.OpMul:
+		return datum.Mul(l, r)
+	case qtree.OpDiv:
+		return datum.Div(l, r)
+	case qtree.OpConcat:
+		if l.IsNull() || r.IsNull() {
+			return datum.Null, nil
+		}
+		return datum.NewString(l.Str() + r.Str()), nil
+	case qtree.OpNullSafeEq:
+		return datum.NewBool(datum.SameValue(l, r)), nil
+	default:
+		return cmp3(l, r, v.Op).Datum(), nil
+	}
+}
+
+// evalBool evaluates a predicate to three-valued logic.
+func (e *env) evalBool(x qtree.Expr, ctx *Ctx) (datum.TriBool, error) {
+	d, err := e.evalExpr(x, ctx)
+	if err != nil {
+		return datum.Unknown, err
+	}
+	return datum.TriFromDatum(d), nil
+}
+
+// evalPreds evaluates a conjunct list; only all-TRUE accepts.
+func (e *env) evalPreds(preds []qtree.Expr, ctx *Ctx) (bool, error) {
+	for _, p := range preds {
+		t, err := e.evalBool(p, ctx)
+		if err != nil {
+			return false, err
+		}
+		if !t.Accept() {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// cmp3 compares two datums under SQL three-valued semantics.
+func cmp3(l, r datum.Datum, op qtree.BinOp) datum.TriBool {
+	if l.IsNull() || r.IsNull() {
+		return datum.Unknown
+	}
+	c, err := datum.Compare(l, r)
+	if err != nil {
+		return datum.Unknown
+	}
+	switch op {
+	case qtree.OpEq:
+		return datum.FromBool(c == 0)
+	case qtree.OpNe:
+		return datum.FromBool(c != 0)
+	case qtree.OpLt:
+		return datum.FromBool(c < 0)
+	case qtree.OpLe:
+		return datum.FromBool(c <= 0)
+	case qtree.OpGt:
+		return datum.FromBool(c > 0)
+	case qtree.OpGe:
+		return datum.FromBool(c >= 0)
+	}
+	return datum.Unknown
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pat string) bool {
+	// Dynamic programming over pattern/string positions.
+	for {
+		if pat == "" {
+			return s == ""
+		}
+		switch pat[0] {
+		case '%':
+			// Collapse consecutive %.
+			pat = strings.TrimLeft(pat, "%")
+			if pat == "" {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeMatch(s[i:], pat) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if s == "" {
+				return false
+			}
+			s, pat = s[1:], pat[1:]
+		default:
+			if s == "" || s[0] != pat[0] {
+				return false
+			}
+			s, pat = s[1:], pat[1:]
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// seqScanIter scans a heap table.
+type seqScanIter struct {
+	e    *env
+	n    *optimizer.SeqScan
+	tbl  *storage.Table
+	ctx  *Ctx
+	pos  int
+	self *Ctx
+}
+
+func newSeqScan(e *env, n *optimizer.SeqScan) *seqScanIter {
+	return &seqScanIter{e: e, n: n, tbl: e.db.Table(n.Table.Name)}
+}
+
+func (it *seqScanIter) Open(outer *Ctx) error {
+	if it.tbl == nil {
+		return fmt.Errorf("exec: table %s has no storage", it.n.Table.Name)
+	}
+	it.pos = 0
+	it.ctx = outer
+	it.self = &Ctx{parent: outer, cols: colMap(it.n.Columns())}
+	return nil
+}
+
+func (it *seqScanIter) Next() (Row, error) {
+	for it.pos < len(it.tbl.Rows) {
+		src := it.tbl.Rows[it.pos]
+		rowid := it.pos
+		it.pos++
+		out := make(Row, len(src)+1)
+		copy(out, src)
+		out[len(src)] = datum.NewInt(int64(rowid))
+		it.self.row = out
+		ok, err := it.e.evalPreds(it.n.Filter, it.self)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (it *seqScanIter) Close() error { return nil }
+
+// indexScanIter probes or range-scans an index.
+type indexScanIter struct {
+	e     *env
+	n     *optimizer.IndexScan
+	tbl   *storage.Table
+	match []int32
+	pos   int
+	self  *Ctx
+	outer *Ctx
+}
+
+func newIndexScan(e *env, n *optimizer.IndexScan) (*indexScanIter, error) {
+	tbl := e.db.Table(n.Table.Name)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %s has no storage", n.Table.Name)
+	}
+	return &indexScanIter{e: e, n: n, tbl: tbl}, nil
+}
+
+func (it *indexScanIter) Open(outer *Ctx) error {
+	it.outer = outer
+	it.pos = 0
+	it.self = &Ctx{parent: outer, cols: colMap(it.n.Columns())}
+	idx := it.tbl.Index(it.n.Index.Name)
+	if idx == nil {
+		return fmt.Errorf("exec: index %s not built", it.n.Index.Name)
+	}
+	if len(it.n.EqKeys) > 0 {
+		key := make([]datum.Datum, len(it.n.EqKeys))
+		for i, ke := range it.n.EqKeys {
+			d, err := it.e.evalExpr(ke, outer)
+			if err != nil {
+				return err
+			}
+			key[i] = d
+		}
+		it.match = idx.EqualRange(key)
+		return nil
+	}
+	var lo, hi datum.Datum
+	hasLo, hasHi := false, false
+	if it.n.Lo != nil {
+		d, err := it.e.evalExpr(it.n.Lo, outer)
+		if err != nil {
+			return err
+		}
+		lo, hasLo = d, !d.IsNull()
+		if d.IsNull() {
+			it.match = nil
+			return nil
+		}
+	}
+	if it.n.Hi != nil {
+		d, err := it.e.evalExpr(it.n.Hi, outer)
+		if err != nil {
+			return err
+		}
+		hi, hasHi = d, !d.IsNull()
+		if d.IsNull() {
+			it.match = nil
+			return nil
+		}
+	}
+	it.match = idx.Range(lo, it.n.LoInc, hasLo, hi, it.n.HiInc, hasHi)
+	return nil
+}
+
+func (it *indexScanIter) Next() (Row, error) {
+	for it.pos < len(it.match) {
+		rowid := it.match[it.pos]
+		it.pos++
+		src := it.tbl.Rows[rowid]
+		out := make(Row, len(src)+1)
+		copy(out, src)
+		out[len(src)] = datum.NewInt(int64(rowid))
+		it.self.row = out
+		ok, err := it.e.evalPreds(it.n.Filter, it.self)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return out, nil
+		}
+	}
+	return nil, nil
+}
+
+func (it *indexScanIter) Close() error { return nil }
+
+// filterIter applies predicates (possibly containing subqueries).
+type filterIter struct {
+	e     *env
+	n     *optimizer.Filter
+	child iterator
+	self  *Ctx
+}
+
+func newFilter(e *env, n *optimizer.Filter, child iterator) *filterIter {
+	return &filterIter{e: e, n: n, child: child}
+}
+
+func (it *filterIter) Open(outer *Ctx) error {
+	it.self = &Ctx{parent: outer, cols: colMap(it.n.Child.Columns())}
+	return it.child.Open(outer)
+}
+
+func (it *filterIter) Next() (Row, error) {
+	for {
+		r, err := it.child.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		it.self.row = r
+		ok, err := it.e.evalPreds(it.n.Preds, it.self)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return r, nil
+		}
+	}
+}
+
+func (it *filterIter) Close() error { return it.child.Close() }
+
+// projectIter computes output expressions.
+type projectIter struct {
+	e     *env
+	n     *optimizer.Project
+	child iterator
+	self  *Ctx
+}
+
+func newProject(e *env, n *optimizer.Project, child iterator) *projectIter {
+	return &projectIter{e: e, n: n, child: child}
+}
+
+func (it *projectIter) Open(outer *Ctx) error {
+	it.self = &Ctx{parent: outer, cols: colMap(it.n.Child.Columns())}
+	return it.child.Open(outer)
+}
+
+func (it *projectIter) Next() (Row, error) {
+	r, err := it.child.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	it.self.row = r
+	out := make(Row, len(it.n.Exprs))
+	for i, ex := range it.n.Exprs {
+		d, err := it.e.evalExpr(ex, it.self)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+func (it *projectIter) Close() error { return it.child.Close() }
+
+// sortIter materializes and sorts.
+type sortIter struct {
+	e     *env
+	n     *optimizer.Sort
+	child iterator
+	rows  []Row
+	pos   int
+}
+
+func newSort(e *env, n *optimizer.Sort, child iterator) *sortIter {
+	return &sortIter{e: e, n: n, child: child}
+}
+
+func (it *sortIter) Open(outer *Ctx) error {
+	if err := it.child.Open(outer); err != nil {
+		return err
+	}
+	it.rows = nil
+	it.pos = 0
+	self := &Ctx{parent: outer, cols: colMap(it.n.Child.Columns())}
+	type keyed struct {
+		row  Row
+		keys []datum.Datum
+	}
+	var all []keyed
+	for {
+		r, err := it.child.Next()
+		if err != nil {
+			return err
+		}
+		if r == nil {
+			break
+		}
+		self.row = r
+		keys := make([]datum.Datum, len(it.n.Keys))
+		for i, k := range it.n.Keys {
+			d, err := it.e.evalExpr(k, self)
+			if err != nil {
+				return err
+			}
+			keys[i] = d
+		}
+		all = append(all, keyed{row: r, keys: keys})
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		for i := range it.n.Keys {
+			c := nullsFirstCompare(all[a].keys[i], all[b].keys[i])
+			if it.n.Desc[i] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	it.rows = make([]Row, len(all))
+	for i, k := range all {
+		it.rows[i] = k.row
+	}
+	return nil
+}
+
+// nullsFirstCompare orders with NULLs first (ascending).
+func nullsFirstCompare(a, b datum.Datum) int {
+	if a.IsNull() || b.IsNull() {
+		switch {
+		case a.IsNull() && b.IsNull():
+			return 0
+		case a.IsNull():
+			return -1
+		default:
+			return 1
+		}
+	}
+	c, err := datum.Compare(a, b)
+	if err != nil {
+		return 0
+	}
+	return c
+}
+
+func (it *sortIter) Next() (Row, error) {
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	r := it.rows[it.pos]
+	it.pos++
+	return r, nil
+}
+
+func (it *sortIter) Close() error { return it.child.Close() }
+
+// limitIter returns the first n rows.
+type limitIter struct {
+	child iterator
+	n     int64
+	seen  int64
+}
+
+func (it *limitIter) Open(outer *Ctx) error {
+	it.seen = 0
+	return it.child.Open(outer)
+}
+
+func (it *limitIter) Next() (Row, error) {
+	if it.seen >= it.n {
+		return nil, nil
+	}
+	r, err := it.child.Next()
+	if err != nil || r == nil {
+		return nil, err
+	}
+	it.seen++
+	return r, nil
+}
+
+func (it *limitIter) Close() error { return it.child.Close() }
+
+// distinctIter removes duplicates (grouping equality).
+type distinctIter struct {
+	child iterator
+	seen  map[string]bool
+}
+
+func newDistinct(child iterator) *distinctIter { return &distinctIter{child: child} }
+
+func (it *distinctIter) Open(outer *Ctx) error {
+	it.seen = map[string]bool{}
+	return it.child.Open(outer)
+}
+
+func (it *distinctIter) Next() (Row, error) {
+	for {
+		r, err := it.child.Next()
+		if err != nil || r == nil {
+			return nil, err
+		}
+		k := rowKey(r)
+		if !it.seen[k] {
+			it.seen[k] = true
+			return r, nil
+		}
+	}
+}
+
+func (it *distinctIter) Close() error { return it.child.Close() }
+
+// setOpIter evaluates UNION [ALL] / INTERSECT / MINUS.
+type setOpIter struct {
+	n    *optimizer.SetNode
+	kids []iterator
+	out  []Row
+	pos  int
+}
+
+func newSetOp(n *optimizer.SetNode, kids []iterator) *setOpIter {
+	return &setOpIter{n: n, kids: kids}
+}
+
+func (it *setOpIter) Open(outer *Ctx) error {
+	it.out = nil
+	it.pos = 0
+	drain := func(k iterator) ([]Row, error) {
+		if err := k.Open(outer); err != nil {
+			return nil, err
+		}
+		var rows []Row
+		for {
+			r, err := k.Next()
+			if err != nil {
+				return nil, err
+			}
+			if r == nil {
+				return rows, nil
+			}
+			rows = append(rows, r)
+		}
+	}
+	first, err := drain(it.kids[0])
+	if err != nil {
+		return err
+	}
+	switch it.n.Kind {
+	case qtree.SetUnionAll:
+		it.out = first
+		for _, k := range it.kids[1:] {
+			rows, err := drain(k)
+			if err != nil {
+				return err
+			}
+			it.out = append(it.out, rows...)
+		}
+	case qtree.SetUnion:
+		seen := map[string]bool{}
+		add := func(rows []Row) {
+			for _, r := range rows {
+				k := rowKey(r)
+				if !seen[k] {
+					seen[k] = true
+					it.out = append(it.out, r)
+				}
+			}
+		}
+		add(first)
+		for _, k := range it.kids[1:] {
+			rows, err := drain(k)
+			if err != nil {
+				return err
+			}
+			add(rows)
+		}
+	case qtree.SetIntersect:
+		// Distinct rows of the first input present in every other input.
+		present := map[string]Row{}
+		for _, r := range first {
+			present[rowKey(r)] = r
+		}
+		for _, k := range it.kids[1:] {
+			rows, err := drain(k)
+			if err != nil {
+				return err
+			}
+			inThis := map[string]bool{}
+			for _, r := range rows {
+				inThis[rowKey(r)] = true
+			}
+			for key := range present {
+				if !inThis[key] {
+					delete(present, key)
+				}
+			}
+		}
+		// Keep first-input order.
+		emitted := map[string]bool{}
+		for _, r := range first {
+			k := rowKey(r)
+			if _, ok := present[k]; ok && !emitted[k] {
+				emitted[k] = true
+				it.out = append(it.out, r)
+			}
+		}
+	case qtree.SetMinus:
+		remove := map[string]bool{}
+		for _, k := range it.kids[1:] {
+			rows, err := drain(k)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				remove[rowKey(r)] = true
+			}
+		}
+		emitted := map[string]bool{}
+		for _, r := range first {
+			k := rowKey(r)
+			if !remove[k] && !emitted[k] {
+				emitted[k] = true
+				it.out = append(it.out, r)
+			}
+		}
+	}
+	return nil
+}
+
+func (it *setOpIter) Next() (Row, error) {
+	if it.pos >= len(it.out) {
+		return nil, nil
+	}
+	r := it.out[it.pos]
+	it.pos++
+	return r, nil
+}
+
+func (it *setOpIter) Close() error {
+	for _, k := range it.kids {
+		k.Close()
+	}
+	return nil
+}

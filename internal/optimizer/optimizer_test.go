@@ -1,0 +1,443 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+func testDB(t *testing.T) *storage.DB {
+	t.Helper()
+	return testkit.NewDB(testkit.SmallSizes(), 7)
+}
+
+func optimize(t *testing.T, db *storage.DB, src string) *Plan {
+	t.Helper()
+	q, err := qtree.BindSQL(src, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(db.Catalog)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+func TestSimpleScanPlan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `SELECT e.emp_id FROM employees e WHERE e.salary > 5000`)
+	if plan.Cost.Rows <= 0 || plan.Cost.Total <= 0 {
+		t.Errorf("cost = %+v", plan.Cost)
+	}
+	var scans int
+	Walk(plan.Root, func(n PlanNode) {
+		if _, ok := n.(*SeqScan); ok {
+			scans++
+		}
+	})
+	if scans != 1 {
+		t.Errorf("seq scans = %d, want 1", scans)
+	}
+}
+
+func TestIndexScanChosenForPointLookup(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `SELECT e.employee_name FROM employees e WHERE e.emp_id = 17`)
+	var idx *IndexScan
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*IndexScan); ok {
+			idx = v
+		}
+	})
+	if idx == nil {
+		t.Fatalf("point lookup should use an index:\n%s", Explain(plan))
+	}
+	if idx.Index.Name != "EMP_PK" {
+		t.Errorf("index = %s, want EMP_PK", idx.Index.Name)
+	}
+}
+
+func TestRangeIndexScan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `SELECT j.emp_id FROM job_history j WHERE j.start_date > '20030101'`)
+	var idx *IndexScan
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*IndexScan); ok {
+			idx = v
+		}
+	})
+	if idx == nil {
+		t.Fatalf("selective range predicate should use JH_START:\n%s", Explain(plan))
+	}
+}
+
+func TestJoinPlanUsesAllTables(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.employee_name, d.department_name, l.city
+FROM employees e, departments d, locations l
+WHERE e.dept_id = d.dept_id AND d.loc_id = l.loc_id AND e.salary > 9000`)
+	tables := map[string]bool{}
+	joins := 0
+	Walk(plan.Root, func(n PlanNode) {
+		switch v := n.(type) {
+		case *SeqScan:
+			tables[v.Table.Name] = true
+		case *IndexScan:
+			tables[v.Table.Name] = true
+		case *Join:
+			joins++
+		}
+	})
+	if len(tables) != 3 || joins != 2 {
+		t.Errorf("tables=%v joins=%d\n%s", tables, joins, Explain(plan))
+	}
+}
+
+func TestOuterJoinOrderConstraint(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.employee_name, d.department_name
+FROM employees e LEFT OUTER JOIN departments d ON e.dept_id = d.dept_id`)
+	// The outer join must have employees on the left.
+	var outer *Join
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Join); ok && v.Kind == qtree.JoinLeftOuter {
+			outer = v
+		}
+	})
+	if outer == nil {
+		t.Fatalf("no outer join in plan:\n%s", Explain(plan))
+	}
+	leftHasEmp := false
+	Walk(outer.L, func(n PlanNode) {
+		if s, ok := n.(*SeqScan); ok && s.Table.Name == "EMPLOYEES" {
+			leftHasEmp = true
+		}
+		if s, ok := n.(*IndexScan); ok && s.Table.Name == "EMPLOYEES" {
+			leftHasEmp = true
+		}
+	})
+	if !leftHasEmp {
+		t.Errorf("employees must precede the outer-joined departments:\n%s", Explain(plan))
+	}
+}
+
+func TestSubqueryPlanCompiled(t *testing.T) {
+	db := testDB(t)
+	q, err := qtree.BindSQL(`
+SELECT e.emp_id FROM employees e
+WHERE e.salary > (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e.dept_id)`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(db.Catalog)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Subplans) != 1 {
+		t.Fatalf("subplans = %d, want 1", len(plan.Subplans))
+	}
+	for _, sp := range plan.Subplans {
+		if sp.EffectiveExecs <= 0 || sp.PerExec <= 0 {
+			t.Errorf("subplan costing: %+v", sp)
+		}
+		if len(sp.Correlated) == 0 {
+			t.Error("correlated columns should be recorded")
+		}
+		// The correlated equality should make the subquery use the
+		// EMP_DEPT index.
+		usesIndex := false
+		Walk(sp.Root, func(n PlanNode) {
+			if ix, ok := n.(*IndexScan); ok && ix.Index.Name == "EMP_DEPT" {
+				usesIndex = true
+			}
+		})
+		if !usesIndex {
+			t.Errorf("TIS should probe EMP_DEPT index:\n%s", Explain(plan))
+		}
+	}
+}
+
+func TestGroupByPlan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.dept_id, AVG(e.salary) avg_sal, COUNT(*) cnt
+FROM employees e GROUP BY e.dept_id HAVING COUNT(*) > 2 ORDER BY avg_sal DESC`)
+	var agg *Agg
+	var srt *Sort
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Agg); ok {
+			agg = v
+		}
+		if v, ok := n.(*Sort); ok {
+			srt = v
+		}
+	})
+	if agg == nil || len(agg.Aggs) != 2 {
+		t.Fatalf("agg missing or wrong specs:\n%s", Explain(plan))
+	}
+	if srt == nil {
+		t.Fatalf("order by requires sort:\n%s", Explain(plan))
+	}
+}
+
+func TestGroupingSetsPlan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT s.country_id, s.state_id, SUM(s.amount) FROM sales s
+GROUP BY ROLLUP(s.country_id, s.state_id)`)
+	var agg *Agg
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Agg); ok {
+			agg = v
+		}
+	})
+	if agg == nil || len(agg.GroupingSets) != 3 {
+		t.Fatalf("grouping sets plan:\n%s", Explain(plan))
+	}
+}
+
+func TestSetOpPlan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.emp_id FROM employees e MINUS SELECT j.emp_id FROM job_history j`)
+	var set *SetNode
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*SetNode); ok {
+			set = v
+		}
+	})
+	if set == nil || set.Kind != qtree.SetMinus || len(set.Inputs) != 2 {
+		t.Fatalf("set plan:\n%s", Explain(plan))
+	}
+}
+
+func TestLimitScalesStreamingCost(t *testing.T) {
+	db := testDB(t)
+	full := optimize(t, db, `SELECT e.emp_id FROM employees e`)
+	limited := optimize(t, db, `SELECT e.emp_id FROM employees e WHERE rownum <= 5`)
+	if limited.Cost.Total >= full.Cost.Total {
+		t.Errorf("limit should reduce streaming cost: %v vs %v", limited.Cost, full.Cost)
+	}
+	if limited.Cost.Rows != 5 {
+		t.Errorf("limited rows = %v", limited.Cost.Rows)
+	}
+}
+
+func TestCostCutoff(t *testing.T) {
+	db := testDB(t)
+	q, err := qtree.BindSQL(`
+SELECT e.emp_id FROM employees e, job_history j, sales s
+WHERE e.emp_id = j.emp_id AND s.emp_id = e.emp_id`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(db.Catalog)
+	p.Cutoff = 0.5 // absurdly small budget
+	if _, err := p.Optimize(q); err != ErrCutoff {
+		t.Errorf("err = %v, want ErrCutoff", err)
+	}
+}
+
+func TestCostCache(t *testing.T) {
+	db := testDB(t)
+	q, err := qtree.BindSQL(`SELECT e.emp_id FROM employees e WHERE e.salary > 100`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCostCache()
+	p := New(db.Catalog)
+	p.Cache = cache
+	p.CostOnly = true
+	if _, err := p.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters.BlocksOptimized != 1 || p.Counters.CacheHits != 0 {
+		t.Fatalf("first pass counters: %+v", p.Counters)
+	}
+	// A structurally identical copy hits the cache.
+	q2, _ := q.Clone()
+	if _, err := p.Optimize(q2); err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters.CacheHits != 1 {
+		t.Errorf("second pass should hit cache: %+v", p.Counters)
+	}
+	if p.Counters.BlocksOptimized != 1 {
+		t.Errorf("cached block should not re-optimize: %+v", p.Counters)
+	}
+}
+
+func TestSemijoinConstraintAndCaching(t *testing.T) {
+	db := testDB(t)
+	// Build a semijoin manually (as the unnesting transformation would).
+	q, err := qtree.BindSQL(`
+SELECT d.department_name FROM departments d, employees e
+WHERE d.dept_id = e.dept_id AND e.salary > 2000`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Turn employees into a semijoined item.
+	b := q.Root
+	emp := b.From[1]
+	emp.Kind = qtree.JoinSemi
+	emp.Cond = []qtree.Expr{b.Where[0]}
+	b.Where = b.Where[1:]
+	p := New(db.Catalog)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var semi *Join
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Join); ok && v.Kind == qtree.JoinSemi {
+			semi = v
+		}
+	})
+	if semi == nil {
+		t.Fatalf("no semijoin in plan:\n%s", Explain(plan))
+	}
+	// departments must be on the left.
+	deptLeft := false
+	Walk(semi.L, func(n PlanNode) {
+		if s, ok := n.(*SeqScan); ok && s.Table.Name == "DEPARTMENTS" {
+			deptLeft = true
+		}
+		if s, ok := n.(*IndexScan); ok && s.Table.Name == "DEPARTMENTS" {
+			deptLeft = true
+		}
+	})
+	if !deptLeft {
+		t.Errorf("semijoin partial order violated:\n%s", Explain(plan))
+	}
+}
+
+func TestViewPlan(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT v.dept_id, v.avg_sal
+FROM (SELECT e.dept_id, AVG(e.salary) avg_sal FROM employees e GROUP BY e.dept_id) v
+WHERE v.avg_sal > 5000`)
+	var agg *Agg
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Agg); ok {
+			agg = v
+		}
+	})
+	if agg == nil {
+		t.Fatalf("view aggregation missing:\n%s", Explain(plan))
+	}
+}
+
+func TestExplainOutput(t *testing.T) {
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.emp_id FROM employees e WHERE e.dept_id IN
+(SELECT d.dept_id FROM departments d WHERE d.budget > 500000)`)
+	out := Explain(plan)
+	for _, want := range []string{"cost=", "rows=", "SubPlan"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistinctReducesRows(t *testing.T) {
+	db := testDB(t)
+	plain := optimize(t, db, `SELECT e.dept_id FROM employees e`)
+	distinct := optimize(t, db, `SELECT DISTINCT e.dept_id FROM employees e`)
+	if distinct.Cost.Rows >= plain.Cost.Rows {
+		t.Errorf("distinct rows %v should be < plain rows %v", distinct.Cost.Rows, plain.Cost.Rows)
+	}
+}
+
+func TestOrderByNotInSelectDistinctFails(t *testing.T) {
+	db := testDB(t)
+	q, err := qtree.BindSQL(`SELECT DISTINCT e.dept_id FROM employees e ORDER BY e.salary`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(db.Catalog)
+	if _, err := p.Optimize(q); err == nil {
+		t.Error("ORDER BY outside SELECT DISTINCT should fail")
+	}
+}
+
+func TestLateralViewForcesNL(t *testing.T) {
+	db := testDB(t)
+	q, err := qtree.BindSQL(`
+SELECT e.emp_id, v.cnt
+FROM employees e, (SELECT COUNT(*) cnt FROM job_history j) v`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the view lateral: correlate it on e.emp_id as JPPD would.
+	b := q.Root
+	view := b.From[1]
+	emp := b.From[0]
+	view.Lateral = true
+	vb := view.View
+	vb.Where = append(vb.Where, &qtree.Bin{
+		Op: qtree.OpEq,
+		L:  &qtree.Col{From: vb.From[0].ID, Ord: 0, Name: "EMP_ID"},
+		R:  &qtree.Col{From: emp.ID, Ord: 0, Name: "EMP_ID"},
+	})
+	p := New(db.Catalog)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nl *Join
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*Join); ok {
+			nl = v
+		}
+	})
+	if nl == nil || nl.Method != MethodNL || !nl.RLateral {
+		t.Fatalf("lateral view must use NL with lateral right:\n%s", Explain(plan))
+	}
+}
+
+func TestMultipleRangeBoundsNotDropped(t *testing.T) {
+	// Regression: two BETWEEN predicates on the same indexed column used
+	// to both be consumed by the range scan with only the last one
+	// applied, silently widening the result. The scan must take the
+	// tightest constant bound per direction and keep the rest as
+	// residual filters.
+	db := testDB(t)
+	plan := optimize(t, db, `
+SELECT e.emp_id FROM employees e
+WHERE e.emp_id BETWEEN 141 AND 185 AND e.emp_id BETWEEN 126 AND 161`)
+	var scan *IndexScan
+	Walk(plan.Root, func(n PlanNode) {
+		if v, ok := n.(*IndexScan); ok {
+			scan = v
+		}
+	})
+	if scan == nil {
+		t.Fatalf("expected an index range scan:\n%s", Explain(plan))
+	}
+	// The chosen bounds must be the tight pair (141, 161); the two weaker
+	// bounds survive as residual filters.
+	if lo, ok := scan.Lo.(*qtree.Const); !ok || lo.Val.Int() != 141 {
+		t.Errorf("lo bound = %v, want 141", scan.Lo)
+	}
+	if hi, ok := scan.Hi.(*qtree.Const); !ok || hi.Val.Int() != 161 {
+		t.Errorf("hi bound = %v, want 161", scan.Hi)
+	}
+	if len(scan.Filter) != 2 {
+		t.Errorf("residual filters = %d, want 2 (the weaker bounds)\n%s",
+			len(scan.Filter), Explain(plan))
+	}
+	// Cardinality sanity: 21 qualifying rows.
+	if plan.Cost.Rows < 5 || plan.Cost.Rows > 80 {
+		t.Errorf("row estimate = %v, want ~21", plan.Cost.Rows)
+	}
+}

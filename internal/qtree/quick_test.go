@@ -1,0 +1,188 @@
+package qtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datum"
+)
+
+// genExpr builds a random expression tree of bounded depth over columns of
+// two pretend relations (IDs 1 and 2).
+func genExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return &Const{Val: datum.NewInt(int64(rng.Intn(100)))}
+		case 1:
+			return &Const{Val: datum.NewString(string(rune('a' + rng.Intn(26))))}
+		default:
+			return &Col{From: FromID(rng.Intn(2) + 1), Ord: rng.Intn(4), Name: "C"}
+		}
+	}
+	switch rng.Intn(8) {
+	case 0:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpEq, OpLt, OpGe, OpAnd, OpOr, OpNullSafeEq}
+		return &Bin{Op: ops[rng.Intn(len(ops))], L: genExpr(rng, depth-1), R: genExpr(rng, depth-1)}
+	case 1:
+		return &Not{E: genExpr(rng, depth-1)}
+	case 2:
+		return &IsNull{E: genExpr(rng, depth-1), Neg: rng.Intn(2) == 0}
+	case 3:
+		n := rng.Intn(3) + 1
+		in := &InList{E: genExpr(rng, depth-1), Neg: rng.Intn(2) == 0}
+		for i := 0; i < n; i++ {
+			in.Vals = append(in.Vals, genExpr(rng, depth-1))
+		}
+		return in
+	case 4:
+		return &LNNVL{E: genExpr(rng, depth-1)}
+	case 5:
+		return &IsTrue{E: genExpr(rng, depth-1)}
+	case 6:
+		c := &Case{Else: genExpr(rng, depth-1)}
+		for i := 0; i <= rng.Intn(2); i++ {
+			c.Whens = append(c.Whens, CaseWhen{Cond: genExpr(rng, depth-1), Result: genExpr(rng, depth-1)})
+		}
+		return c
+	default:
+		return &Like{E: genExpr(rng, depth-1), Pattern: &Const{Val: datum.NewString("%x%")}, Neg: rng.Intn(2) == 0}
+	}
+}
+
+func TestQuickCloneRendersIdentically(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		q := NewQuery(nil)
+		clone := e.Clone(NewRemap(q))
+		return e.String() == clone.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIdentityRewritePreservesStructure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		r := RewriteExpr(e, func(Expr) Expr { return nil })
+		return e.String() == r.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCloneIsDeepForExprs(t *testing.T) {
+	// Rewriting the clone never changes the original's rendering.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		before := e.String()
+		q := NewQuery(nil)
+		clone := e.Clone(NewRemap(q))
+		_ = RewriteExpr(clone, func(x Expr) Expr {
+			if _, ok := x.(*Col); ok {
+				return &Const{Val: datum.Null}
+			}
+			return nil
+		})
+		return e.String() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickRemapTranslatesAllRefs(t *testing.T) {
+	// After cloning with a remap covering IDs 1 and 2, no reference to the
+	// old IDs survives.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		q := NewQuery(nil)
+		r := NewRemap(q)
+		r.IDs[1] = 101
+		r.IDs[2] = 102
+		clone := e.Clone(r)
+		ok := true
+		WalkExpr(clone, func(x Expr) bool {
+			if c, isCol := x.(*Col); isCol && (c.From == 1 || c.From == 2) {
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSplitAndRoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		var conjuncts []Expr
+		for i := 0; i < n; i++ {
+			// Comparisons only: no top-level ANDs inside the conjuncts.
+			conjuncts = append(conjuncts, &Bin{
+				Op: OpEq,
+				L:  genLeaf(rng),
+				R:  genLeaf(rng),
+			})
+		}
+		split := SplitAnd(AndAll(conjuncts))
+		if len(split) != n {
+			return false
+		}
+		for i := range split {
+			if split[i].String() != conjuncts[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func genLeaf(rng *rand.Rand) Expr {
+	if rng.Intn(2) == 0 {
+		return &Const{Val: datum.NewInt(int64(rng.Intn(50)))}
+	}
+	return &Col{From: FromID(rng.Intn(2) + 1), Ord: rng.Intn(4), Name: "C"}
+}
+
+func TestQuickColsUsedMatchesWalk(t *testing.T) {
+	// ColsUsed agrees with a manual walk.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := genExpr(rng, 4)
+		got := map[FromID]bool{}
+		ColsUsed(e, got)
+		want := map[FromID]bool{}
+		WalkExpr(e, func(x Expr) bool {
+			if c, ok := x.(*Col); ok {
+				want[c.From] = true
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for id := range want {
+			if !got[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

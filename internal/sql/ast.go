@@ -1,0 +1,295 @@
+package sql
+
+// The AST mirrors the grammar closely; semantic analysis (package qtree)
+// resolves names against the catalog and produces the query tree IR.
+
+// Node is implemented by every AST node.
+type Node interface{ astNode() }
+
+// SelectStmt is a full query: a body (plain select or set operation) plus an
+// optional ORDER BY that applies to the whole result.
+type SelectStmt struct {
+	Body    Body
+	OrderBy []OrderItem
+}
+
+// Body is either *Select or *SetOp.
+type Body interface {
+	Node
+	bodyNode()
+}
+
+// Select is a single SELECT ... FROM ... query block.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableExpr
+	Where    Expr
+	GroupBy  *GroupBy
+	Having   Expr
+}
+
+// SelectItem is one select-list entry. Star entries ("*" or "t.*") have
+// Star set and Expr nil (Qual holds the table alias for "t.*").
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+	Qual  string
+}
+
+// GroupBy is the GROUP BY clause. Rollup marks GROUP BY ROLLUP(...);
+// Sets is non-nil for GROUPING SETS ((..), (..)).
+type GroupBy struct {
+	Exprs  []Expr
+	Rollup bool
+	Sets   [][]Expr
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SetOpKind distinguishes set operations.
+type SetOpKind int
+
+// Set operation kinds.
+const (
+	UnionOp SetOpKind = iota
+	UnionAllOp
+	IntersectOp
+	MinusOp
+)
+
+func (k SetOpKind) String() string {
+	switch k {
+	case UnionOp:
+		return "UNION"
+	case UnionAllOp:
+		return "UNION ALL"
+	case IntersectOp:
+		return "INTERSECT"
+	case MinusOp:
+		return "MINUS"
+	}
+	return "?"
+}
+
+// SetOp combines two bodies with a set operation.
+type SetOp struct {
+	Kind        SetOpKind
+	Left, Right Body
+}
+
+// TableExpr is a FROM-list entry: *TableName, *DerivedTable, or *JoinExpr.
+type TableExpr interface {
+	Node
+	tableExpr()
+}
+
+// TableName references a base table, optionally aliased.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+// DerivedTable is an inline view: (SELECT ...) alias.
+type DerivedTable struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// JoinKind distinguishes ANSI join syntaxes.
+type JoinKind int
+
+// Join kinds supported in the FROM clause. RIGHT OUTER JOIN parses and is
+// normalized to a LEFT OUTER JOIN with swapped operands during binding.
+const (
+	InnerJoin JoinKind = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+)
+
+// JoinExpr is an ANSI join: left JOIN right ON cond.
+type JoinExpr struct {
+	Kind        JoinKind
+	Left, Right TableExpr
+	On          Expr
+}
+
+// Expr is implemented by every expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// NumLit is a numeric literal. IsFloat distinguishes 1 from 1.0.
+type NumLit struct {
+	Text    string
+	IsFloat bool
+}
+
+// StrLit is a string literal.
+type StrLit struct{ Val string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Val bool }
+
+// ColRef is a possibly-qualified column reference (Qual may be "").
+type ColRef struct {
+	Qual string
+	Name string
+}
+
+// Rownum is Oracle's ROWNUM pseudo-column.
+type Rownum struct{}
+
+// BinExpr is a binary operation. Op is one of: + - * / || = <> < <= > >=
+// AND OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr is unary minus.
+type UnaryExpr struct {
+	Op string // "-"
+	E  Expr
+}
+
+// NotExpr is logical NOT.
+type NotExpr struct{ E Expr }
+
+// IsNull is "expr IS [NOT] NULL".
+type IsNull struct {
+	E   Expr
+	Not bool
+}
+
+// Between is "expr [NOT] BETWEEN lo AND hi".
+type Between struct {
+	E, Lo, Hi Expr
+	Not       bool
+}
+
+// Like is "expr [NOT] LIKE pattern" (pattern with % and _ wildcards).
+type Like struct {
+	E, Pattern Expr
+	Not        bool
+}
+
+// InExpr is "expr [NOT] IN (list)" or "expr [NOT] IN (subquery)".
+// Left may have multiple items for "(a, b) IN (subquery)".
+type InExpr struct {
+	Left     []Expr
+	List     []Expr      // value list form
+	Subquery *SelectStmt // subquery form
+	Not      bool
+}
+
+// Exists is "[NOT] EXISTS (subquery)".
+type Exists struct {
+	Subquery *SelectStmt
+	Not      bool
+}
+
+// Quant is "expr op ANY|ALL (subquery)".
+type Quant struct {
+	Op       string // comparison operator
+	All      bool   // false = ANY/SOME
+	Left     []Expr
+	Subquery *SelectStmt
+}
+
+// ScalarSubquery is a subquery used as a scalar expression.
+type ScalarSubquery struct{ Subquery *SelectStmt }
+
+// FuncCall is a function invocation; Star marks COUNT(*). A non-nil Over
+// makes it a window function.
+type FuncCall struct {
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
+	Over     *WindowSpec
+}
+
+// WindowSpec is an OVER clause: PARTITION BY + ORDER BY with an optional
+// frame. Running reports a "RANGE/ROWS BETWEEN UNBOUNDED PRECEDING AND
+// CURRENT ROW" frame (the running-aggregate form of the paper's Q7); with
+// an ORDER BY and no explicit frame, Running is the SQL default.
+type WindowSpec struct {
+	PartitionBy []Expr
+	OrderBy     []OrderItem
+	Running     bool
+}
+
+// CaseExpr is a searched CASE expression.
+type CaseExpr struct {
+	Whens []CaseWhen
+	Else  Expr
+}
+
+// CaseWhen is one WHEN cond THEN result arm.
+type CaseWhen struct {
+	Cond   Expr
+	Result Expr
+}
+
+func (*SelectStmt) astNode()   {}
+func (*Select) astNode()       {}
+func (*SetOp) astNode()        {}
+func (*TableName) astNode()    {}
+func (*DerivedTable) astNode() {}
+func (*JoinExpr) astNode()     {}
+
+func (*Select) bodyNode() {}
+func (*SetOp) bodyNode()  {}
+
+func (*TableName) tableExpr()    {}
+func (*DerivedTable) tableExpr() {}
+func (*JoinExpr) tableExpr()     {}
+
+func (*NumLit) astNode()         {}
+func (*StrLit) astNode()         {}
+func (*NullLit) astNode()        {}
+func (*BoolLit) astNode()        {}
+func (*ColRef) astNode()         {}
+func (*Rownum) astNode()         {}
+func (*BinExpr) astNode()        {}
+func (*UnaryExpr) astNode()      {}
+func (*NotExpr) astNode()        {}
+func (*IsNull) astNode()         {}
+func (*Between) astNode()        {}
+func (*Like) astNode()           {}
+func (*InExpr) astNode()         {}
+func (*Exists) astNode()         {}
+func (*Quant) astNode()          {}
+func (*ScalarSubquery) astNode() {}
+func (*FuncCall) astNode()       {}
+func (*CaseExpr) astNode()       {}
+
+func (*NumLit) exprNode()         {}
+func (*StrLit) exprNode()         {}
+func (*NullLit) exprNode()        {}
+func (*BoolLit) exprNode()        {}
+func (*ColRef) exprNode()         {}
+func (*Rownum) exprNode()         {}
+func (*BinExpr) exprNode()        {}
+func (*UnaryExpr) exprNode()      {}
+func (*NotExpr) exprNode()        {}
+func (*IsNull) exprNode()         {}
+func (*Between) exprNode()        {}
+func (*Like) exprNode()           {}
+func (*InExpr) exprNode()         {}
+func (*Exists) exprNode()         {}
+func (*Quant) exprNode()          {}
+func (*ScalarSubquery) exprNode() {}
+func (*FuncCall) exprNode()       {}
+func (*CaseExpr) exprNode()       {}

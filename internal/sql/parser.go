@@ -1,0 +1,941 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parser is a recursive-descent parser over the lexer's token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses one SELECT statement (optionally ending with a semicolon-free
+// end of input).
+func Parse(src string) (*SelectStmt, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	stmt, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+// rowExpr is a parenthesized expression list "(a, b)"; it is only legal as
+// the left side of IN or a quantified comparison and is rejected elsewhere.
+type rowExpr struct{ items []Expr }
+
+func (*rowExpr) astNode()  {}
+func (*rowExpr) exprNode() {}
+
+func (p *Parser) peek() Token   { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool   { return p.peek().Kind == TokEOF }
+func (p *Parser) next() Token   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *Parser) save() int     { return p.pos }
+func (p *Parser) restore(m int) { p.pos = m }
+
+func (p *Parser) errorf(format string, args ...interface{}) error {
+	return fmt.Errorf("sql: parse error at offset %d: %s", p.peek().Pos, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	t := p.peek()
+	return t.Kind == TokKeyword && t.Text == kw
+}
+
+func (p *Parser) isSymbol(s string) bool {
+	t := p.peek()
+	return t.Kind == TokSymbol && t.Text == s
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.isKeyword(kw) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) acceptSymbol(s string) bool {
+	if p.isSymbol(s) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errorf("expected %q, found %s", s, p.peek())
+	}
+	return nil
+}
+
+func (p *Parser) expectIdent() (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected identifier, found %s", t)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+// parseSelectStmt := body [ORDER BY orderList]
+func (p *Parser) parseSelectStmt() (*SelectStmt, error) {
+	body, err := p.parseBody()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{Body: body}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	return stmt, nil
+}
+
+// parseBody := core ((UNION [ALL] | INTERSECT | MINUS | EXCEPT) core)*
+func (p *Parser) parseBody() (Body, error) {
+	left, err := p.parseCore()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var kind SetOpKind
+		switch {
+		case p.acceptKeyword("UNION"):
+			kind = UnionOp
+			if p.acceptKeyword("ALL") {
+				kind = UnionAllOp
+			}
+		case p.acceptKeyword("INTERSECT"):
+			kind = IntersectOp
+		case p.acceptKeyword("MINUS"), p.acceptKeyword("EXCEPT"):
+			kind = MinusOp
+		default:
+			return left, nil
+		}
+		right, err := p.parseCore()
+		if err != nil {
+			return nil, err
+		}
+		left = &SetOp{Kind: kind, Left: left, Right: right}
+	}
+}
+
+// parseCore := SELECT ... | '(' body ')'
+func (p *Parser) parseCore() (Body, error) {
+	if p.acceptSymbol("(") {
+		b, err := p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return b, nil
+	}
+	return p.parseSelect()
+}
+
+func (p *Parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{}
+	if p.acceptKeyword("DISTINCT") {
+		sel.Distinct = true
+	} else {
+		p.acceptKeyword("ALL")
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		te, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, te)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = e
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		gb, err := p.parseGroupBy()
+		if err != nil {
+			return nil, err
+		}
+		sel.GroupBy = gb
+	}
+	if p.acceptKeyword("HAVING") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = e
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Star: true}, nil
+	}
+	// "ident.*"
+	if p.peek().Kind == TokIdent && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].Kind == TokSymbol && p.toks[p.pos+1].Text == "." &&
+		p.toks[p.pos+2].Kind == TokSymbol && p.toks[p.pos+2].Text == "*" {
+		qual := p.next().Text
+		p.next() // .
+		p.next() // *
+		return SelectItem{Star: true, Qual: qual}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	if r, ok := e.(*rowExpr); ok {
+		_ = r
+		return SelectItem{}, p.errorf("row expression not allowed in select list")
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if p.peek().Kind == TokIdent {
+		item.Alias = p.next().Text
+	}
+	return item, nil
+}
+
+// parseTableRef := tablePrimary (joinClause)*
+func (p *Parser) parseTableRef() (TableExpr, error) {
+	left, err := p.parseTablePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		kind := InnerJoin
+		switch {
+		case p.isKeyword("JOIN"):
+			p.next()
+		case p.isKeyword("INNER"):
+			p.next()
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		case p.isKeyword("LEFT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = LeftOuterJoin
+		case p.isKeyword("RIGHT"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = RightOuterJoin
+		case p.isKeyword("FULL"):
+			p.next()
+			p.acceptKeyword("OUTER")
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = FullOuterJoin
+		default:
+			return left, nil
+		}
+		right, err := p.parseTablePrimary()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &JoinExpr{Kind: kind, Left: left, Right: right, On: on}
+	}
+}
+
+func (p *Parser) parseTablePrimary() (TableExpr, error) {
+	if p.acceptSymbol("(") {
+		sub, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		dt := &DerivedTable{Select: sub}
+		p.acceptKeyword("AS")
+		if p.peek().Kind == TokIdent {
+			dt.Alias = p.next().Text
+		}
+		return dt, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	tn := &TableName{Name: name}
+	p.acceptKeyword("AS")
+	if p.peek().Kind == TokIdent {
+		tn.Alias = p.next().Text
+	}
+	return tn, nil
+}
+
+func (p *Parser) parseGroupBy() (*GroupBy, error) {
+	if p.acceptKeyword("ROLLUP") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		exprs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &GroupBy{Exprs: exprs, Rollup: true}, nil
+	}
+	if p.acceptKeyword("GROUPING") {
+		if err := p.expectKeyword("SETS"); err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		gb := &GroupBy{}
+		for {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var set []Expr
+			if !p.isSymbol(")") {
+				var err error
+				set, err = p.parseExprList()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			gb.Sets = append(gb.Sets, set)
+			// Track the union of grouping columns in Exprs.
+			for _, e := range set {
+				if !containsExpr(gb.Exprs, e) {
+					gb.Exprs = append(gb.Exprs, e)
+				}
+			}
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return gb, nil
+	}
+	exprs, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	return &GroupBy{Exprs: exprs}, nil
+}
+
+// containsExpr reports structural duplication of simple column refs; used
+// only to dedupe GROUPING SETS union columns.
+func containsExpr(list []Expr, e Expr) bool {
+	ec, ok := e.(*ColRef)
+	if !ok {
+		return false
+	}
+	for _, x := range list {
+		if xc, ok := x.(*ColRef); ok &&
+			strings.EqualFold(xc.Qual, ec.Qual) && strings.EqualFold(xc.Name, ec.Name) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) parseExprList() ([]Expr, error) {
+	var out []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := e.(*rowExpr); ok {
+			return nil, p.errorf("row expression not allowed here")
+		}
+		out = append(out, e)
+		if !p.acceptSymbol(",") {
+			return out, nil
+		}
+	}
+}
+
+// Expression grammar, loosest to tightest:
+// expr := and (OR and)*
+// and  := not (AND not)*
+// not  := NOT not | predicate
+// predicate := summand [postfix predicate operators]
+// summand := factor (('+'|'-'|'||') factor)*
+// factor := unary (('*'|'/') unary)*
+// unary := '-' unary | primary
+
+func (p *Parser) parseExpr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "OR", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: "AND", L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{E: e}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *Parser) parsePredicate() (Expr, error) {
+	if p.isKeyword("EXISTS") {
+		p.next()
+		sub, err := p.parseParenSubquery()
+		if err != nil {
+			return nil, err
+		}
+		return &Exists{Subquery: sub}, nil
+	}
+	left, err := p.parseSummand()
+	if err != nil {
+		return nil, err
+	}
+	leftItems := []Expr{left}
+	if r, ok := left.(*rowExpr); ok {
+		leftItems = r.items
+	}
+	// Postfix predicate forms.
+	switch {
+	case p.isKeyword("IS"):
+		p.next()
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		if len(leftItems) != 1 {
+			return nil, p.errorf("IS NULL requires a single expression")
+		}
+		return &IsNull{E: leftItems[0], Not: not}, nil
+
+	case p.isKeyword("NOT") || p.isKeyword("IN") || p.isKeyword("BETWEEN") || p.isKeyword("LIKE"):
+		not := p.acceptKeyword("NOT")
+		switch {
+		case p.acceptKeyword("IN"):
+			return p.parseInTail(leftItems, not)
+		case p.acceptKeyword("BETWEEN"):
+			if len(leftItems) != 1 {
+				return nil, p.errorf("BETWEEN requires a single expression")
+			}
+			lo, err := p.parseSummand()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseSummand()
+			if err != nil {
+				return nil, err
+			}
+			return &Between{E: leftItems[0], Lo: lo, Hi: hi, Not: not}, nil
+		case p.acceptKeyword("LIKE"):
+			if len(leftItems) != 1 {
+				return nil, p.errorf("LIKE requires a single expression")
+			}
+			pat, err := p.parseSummand()
+			if err != nil {
+				return nil, err
+			}
+			return &Like{E: leftItems[0], Pattern: pat, Not: not}, nil
+		default:
+			return nil, p.errorf("expected IN, BETWEEN or LIKE after NOT")
+		}
+
+	case p.peek().Kind == TokSymbol && isCmpOp(p.peek().Text):
+		op := p.next().Text
+		// Quantified comparison: op ANY|SOME|ALL (subquery).
+		if p.isKeyword("ANY") || p.isKeyword("SOME") || p.isKeyword("ALL") {
+			all := p.next().Text == "ALL"
+			sub, err := p.parseParenSubquery()
+			if err != nil {
+				return nil, err
+			}
+			return &Quant{Op: op, All: all, Left: leftItems, Subquery: sub}, nil
+		}
+		if len(leftItems) != 1 {
+			return nil, p.errorf("row expression requires a quantified comparison")
+		}
+		right, err := p.parseSummand()
+		if err != nil {
+			return nil, err
+		}
+		if r, ok := right.(*rowExpr); ok {
+			_ = r
+			return nil, p.errorf("row expression not allowed as comparison operand")
+		}
+		return &BinExpr{Op: op, L: leftItems[0], R: right}, nil
+	}
+	if len(leftItems) != 1 {
+		return nil, p.errorf("dangling row expression")
+	}
+	return left, nil
+}
+
+func (p *Parser) parseInTail(left []Expr, not bool) (Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	if p.isKeyword("SELECT") || p.isSymbol("(") {
+		sub, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{Left: left, Subquery: sub, Not: not}, nil
+	}
+	list, err := p.parseExprList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	if len(left) != 1 {
+		return nil, p.errorf("row IN requires a subquery")
+	}
+	return &InExpr{Left: left, List: list, Not: not}, nil
+}
+
+func isCmpOp(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseSummand() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.isSymbol("+"):
+			op = "+"
+		case p.isSymbol("-"):
+			op = "-"
+		case p.isSymbol("||"):
+			op = "||"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseFactor() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch {
+		case p.isSymbol("*"):
+			op = "*"
+		case p.isSymbol("/"):
+			op = "/"
+		default:
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinExpr{Op: op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	p.acceptSymbol("+")
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokNumber:
+		p.next()
+		return &NumLit{Text: t.Text, IsFloat: strings.Contains(t.Text, ".")}, nil
+	case TokString:
+		p.next()
+		return &StrLit{Val: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.next()
+			return &NullLit{}, nil
+		case "TRUE":
+			p.next()
+			return &BoolLit{Val: true}, nil
+		case "FALSE":
+			p.next()
+			return &BoolLit{Val: false}, nil
+		case "ROWNUM":
+			p.next()
+			return &Rownum{}, nil
+		case "CASE":
+			return p.parseCase()
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokIdent:
+		return p.parseIdentExpr()
+	case TokSymbol:
+		if t.Text == "(" {
+			p.next()
+			// Scalar subquery or parenthesized body?
+			if p.isKeyword("SELECT") {
+				sub, err := p.parseSelectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &ScalarSubquery{Subquery: sub}, nil
+			}
+			first, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.acceptSymbol(",") {
+				items := []Expr{first}
+				for {
+					e, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					items = append(items, e)
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+				return &rowExpr{items: items}, nil
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return first, nil
+		}
+	}
+	return nil, p.errorf("unexpected %s in expression", t)
+}
+
+// parseIdentExpr parses column references (a, a.b) and function calls.
+func (p *Parser) parseIdentExpr() (Expr, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Function call?
+	if p.isSymbol("(") {
+		p.next()
+		fc := &FuncCall{Name: strings.ToUpper(name)}
+		if p.acceptSymbol("*") {
+			fc.Star = true
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			if p.acceptKeyword("OVER") {
+				spec, err := p.parseWindowSpec()
+				if err != nil {
+					return nil, err
+				}
+				fc.Over = spec
+			}
+			return fc, nil
+		}
+		if p.acceptKeyword("DISTINCT") {
+			fc.Distinct = true
+		}
+		if !p.isSymbol(")") {
+			args, err := p.parseExprList()
+			if err != nil {
+				return nil, err
+			}
+			fc.Args = args
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if p.acceptKeyword("OVER") {
+			spec, err := p.parseWindowSpec()
+			if err != nil {
+				return nil, err
+			}
+			fc.Over = spec
+		}
+		return fc, nil
+	}
+	// Qualified column?
+	if p.isSymbol(".") {
+		mark := p.save()
+		p.next()
+		if p.peek().Kind == TokIdent {
+			col := p.next().Text
+			return &ColRef{Qual: name, Name: col}, nil
+		}
+		if p.isKeyword("ROWNUM") {
+			// t.rowid is spelled "rowid" (an identifier) but guard anyway.
+			p.restore(mark)
+		} else {
+			p.restore(mark)
+		}
+	}
+	return &ColRef{Name: name}, nil
+}
+
+func (p *Parser) parseCase() (Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	ce := &CaseExpr{}
+	for p.acceptKeyword("WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		res, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Whens = append(ce.Whens, CaseWhen{Cond: cond, Result: res})
+	}
+	if len(ce.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN")
+	}
+	if p.acceptKeyword("ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ce.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return ce, nil
+}
+
+// parseWindowSpec parses "( [PARTITION BY exprs] [ORDER BY items]
+// [RANGE|ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW] )".
+func (p *Parser) parseWindowSpec() (*WindowSpec, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	spec := &WindowSpec{}
+	if p.acceptKeyword("PARTITION") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		exprs, err := p.parseExprList()
+		if err != nil {
+			return nil, err
+		}
+		spec.PartitionBy = exprs
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			spec.OrderBy = append(spec.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		// The SQL default frame with ORDER BY is RANGE UNBOUNDED
+		// PRECEDING .. CURRENT ROW.
+		spec.Running = true
+	}
+	if p.isKeyword("RANGE") || p.isKeyword("ROWS") {
+		p.next()
+		// Only the running frame is supported; parse it strictly.
+		if err := p.expectKeyword("BETWEEN"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("UNBOUNDED"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("PRECEDING"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("CURRENT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ROW"); err != nil {
+			return nil, err
+		}
+		spec.Running = true
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func (p *Parser) parseParenSubquery() (*SelectStmt, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseSelectStmt()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return sub, nil
+}

@@ -1,0 +1,477 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return stmt
+}
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := LexAll("SELECT e.name, 'it''s', 3.14 FROM emp -- comment\n/* block */ WHERE a <= b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.Kind == TokEOF {
+			break
+		}
+		texts = append(texts, tk.Text)
+	}
+	want := []string{"SELECT", "e", ".", "name", ",", "it's", ",", "3.14", "FROM", "emp", "WHERE", "a", "<=", "b"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := LexAll("SELECT 'unterminated"); err == nil {
+		t.Error("unterminated string should error")
+	}
+	if _, err := LexAll("SELECT @"); err == nil {
+		t.Error("bad character should error")
+	}
+}
+
+func TestLexerNotEquals(t *testing.T) {
+	toks, err := LexAll("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Text != "<>" {
+		t.Errorf("!= should normalize to <>, got %q", toks[1].Text)
+	}
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	stmt := mustParse(t, "SELECT e.name, e.salary FROM employees e WHERE e.dept_id = 10")
+	sel := stmt.Body.(*Select)
+	if len(sel.Items) != 2 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	if sel.Items[0].Expr.(*ColRef).Qual != "e" || sel.Items[0].Expr.(*ColRef).Name != "name" {
+		t.Error("first item should be e.name")
+	}
+	tn := sel.From[0].(*TableName)
+	if tn.Name != "employees" || tn.Alias != "e" {
+		t.Errorf("from = %+v", tn)
+	}
+	cmp := sel.Where.(*BinExpr)
+	if cmp.Op != "=" {
+		t.Errorf("where op = %s", cmp.Op)
+	}
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	// The paper's motivating query Q1: two nested subqueries.
+	stmt := mustParse(t, `
+SELECT e1.employee_name, j.job_title
+FROM employees e1, job_history j
+WHERE e1.emp_id = j.emp_id and
+  j.start_date > '19980101' and
+  e1.salary >
+  (SELECT AVG(e2.salary)
+   FROM employees e2
+   WHERE e2.dept_id = e1.dept_id) and
+  e1.dept_id IN
+  (SELECT dept_id
+   FROM departments d, locations l
+   WHERE d.loc_id = l.loc_id and l.country_id = 'US')`)
+	sel := stmt.Body.(*Select)
+	if len(sel.From) != 2 {
+		t.Fatalf("from count = %d", len(sel.From))
+	}
+	// The WHERE is a chain of ANDs; walk it to find the subqueries.
+	var nScalar, nIn int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+			if v.Op == ">" {
+				if _, ok := v.R.(*ScalarSubquery); ok {
+					nScalar++
+				}
+			}
+		case *InExpr:
+			if v.Subquery != nil {
+				nIn++
+			}
+		}
+	}
+	walk(sel.Where)
+	if nScalar != 1 || nIn != 1 {
+		t.Errorf("scalar subqueries = %d, IN subqueries = %d; want 1, 1", nScalar, nIn)
+	}
+}
+
+func TestParseExistsAndQuant(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT d.name FROM departments d
+WHERE EXISTS (SELECT 1 FROM employees e WHERE e.dept_id = d.dept_id)
+  AND NOT EXISTS (SELECT 1 FROM jobs j WHERE j.dept_id = d.dept_id)
+  AND d.budget > ALL (SELECT e.salary FROM employees e)
+  AND d.head_count = ANY (SELECT 1 FROM dual x)`)
+	sel := stmt.Body.(*Select)
+	var nEx, nNotEx, nAll, nAny int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		case *NotExpr:
+			walk(v.E)
+			if ex, ok := v.E.(*Exists); ok && !ex.Not {
+				nNotEx++
+			}
+		case *Exists:
+			nEx++
+		case *Quant:
+			if v.All {
+				nAll++
+			} else {
+				nAny++
+			}
+		}
+	}
+	walk(sel.Where)
+	if nEx != 2 || nNotEx != 1 || nAll != 1 || nAny != 1 {
+		t.Errorf("exists=%d notexists=%d all=%d any=%d", nEx, nNotEx, nAll, nAny)
+	}
+}
+
+func TestParseRowIn(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE (t.a, t.b) IN (SELECT x, y FROM u)`)
+	sel := stmt.Body.(*Select)
+	in := sel.Where.(*InExpr)
+	if len(in.Left) != 2 || in.Subquery == nil {
+		t.Errorf("row IN: left=%d subquery=%v", len(in.Left), in.Subquery != nil)
+	}
+}
+
+func TestParseInList(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE c IN ('UK', 'US') AND d NOT IN (1, 2, 3)`)
+	sel := stmt.Body.(*Select)
+	and := sel.Where.(*BinExpr)
+	in1 := and.L.(*InExpr)
+	if len(in1.List) != 2 || in1.Not {
+		t.Errorf("first IN: %+v", in1)
+	}
+	in2 := and.R.(*InExpr)
+	if len(in2.List) != 3 || !in2.Not {
+		t.Errorf("second IN: %+v", in2)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT e.name FROM employees e
+LEFT OUTER JOIN departments d ON e.dept_id = d.dept_id
+JOIN locations l ON d.loc_id = l.loc_id`)
+	sel := stmt.Body.(*Select)
+	j := sel.From[0].(*JoinExpr)
+	if j.Kind != InnerJoin {
+		t.Error("outermost join should be the inner join")
+	}
+	lj := j.Left.(*JoinExpr)
+	if lj.Kind != LeftOuterJoin {
+		t.Error("inner-left should be the left outer join")
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT a FROM t UNION ALL SELECT b FROM u UNION SELECT c FROM v MINUS SELECT d FROM w`)
+	// Left-associative: ((t UNION ALL u) UNION v) MINUS w.
+	so := stmt.Body.(*SetOp)
+	if so.Kind != MinusOp {
+		t.Fatalf("top op = %v", so.Kind)
+	}
+	so2 := so.Left.(*SetOp)
+	if so2.Kind != UnionOp {
+		t.Fatalf("second op = %v", so2.Kind)
+	}
+	so3 := so2.Left.(*SetOp)
+	if so3.Kind != UnionAllOp {
+		t.Fatalf("third op = %v", so3.Kind)
+	}
+}
+
+func TestParseIntersectAndExcept(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t INTERSECT SELECT b FROM u`)
+	if stmt.Body.(*SetOp).Kind != IntersectOp {
+		t.Error("INTERSECT")
+	}
+	stmt = mustParse(t, `SELECT a FROM t EXCEPT SELECT b FROM u`)
+	if stmt.Body.(*SetOp).Kind != MinusOp {
+		t.Error("EXCEPT should parse as MINUS")
+	}
+}
+
+func TestParseDerivedTableAndRownum(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT v.a FROM (SELECT t.a FROM t ORDER BY t.create_date) v WHERE rownum < 20`)
+	sel := stmt.Body.(*Select)
+	dt := sel.From[0].(*DerivedTable)
+	if dt.Alias != "v" {
+		t.Errorf("alias = %q", dt.Alias)
+	}
+	if len(dt.Select.OrderBy) != 1 {
+		t.Error("view order by missing")
+	}
+	cmp := sel.Where.(*BinExpr)
+	if _, ok := cmp.L.(*Rownum); !ok {
+		t.Error("rownum comparison")
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT e.dept_id, AVG(e.salary) avg_sal FROM employees e
+GROUP BY e.dept_id HAVING AVG(e.salary) > 100 ORDER BY avg_sal DESC`)
+	sel := stmt.Body.(*Select)
+	if len(sel.GroupBy.Exprs) != 1 || sel.GroupBy.Rollup {
+		t.Errorf("group by = %+v", sel.GroupBy)
+	}
+	if sel.Having == nil {
+		t.Error("having missing")
+	}
+	if sel.Items[1].Alias != "avg_sal" {
+		t.Errorf("alias = %q", sel.Items[1].Alias)
+	}
+	if len(stmt.OrderBy) != 1 || !stmt.OrderBy[0].Desc {
+		t.Error("order by desc")
+	}
+}
+
+func TestParseRollupAndGroupingSets(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT country_id, state_id, SUM(amount) FROM sales
+GROUP BY ROLLUP(country_id, state_id)`)
+	gb := stmt.Body.(*Select).GroupBy
+	if !gb.Rollup || len(gb.Exprs) != 2 {
+		t.Errorf("rollup = %+v", gb)
+	}
+	stmt = mustParse(t, `
+SELECT a, b, COUNT(*) FROM t GROUP BY GROUPING SETS ((a, b), (a), ())`)
+	gb = stmt.Body.(*Select).GroupBy
+	if len(gb.Sets) != 3 {
+		t.Fatalf("sets = %d", len(gb.Sets))
+	}
+	if len(gb.Sets[0]) != 2 || len(gb.Sets[1]) != 1 || len(gb.Sets[2]) != 0 {
+		t.Errorf("set sizes = %d,%d,%d", len(gb.Sets[0]), len(gb.Sets[1]), len(gb.Sets[2]))
+	}
+	if len(gb.Exprs) != 2 {
+		t.Errorf("union of grouping columns = %d, want 2", len(gb.Exprs))
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	stmt := mustParse(t, `SELECT COUNT(*), COUNT(DISTINCT a), SUM(b + 1), MIN(c), MAX(d), AVG(e) FROM t`)
+	items := stmt.Body.(*Select).Items
+	if !items[0].Expr.(*FuncCall).Star {
+		t.Error("COUNT(*)")
+	}
+	if !items[1].Expr.(*FuncCall).Distinct {
+		t.Error("COUNT(DISTINCT)")
+	}
+	if items[2].Expr.(*FuncCall).Name != "SUM" {
+		t.Error("SUM")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	stmt := mustParse(t, `SELECT a FROM t WHERE a + b * c = d AND e = 1 OR f = 2`)
+	// OR at top.
+	or := stmt.Body.(*Select).Where.(*BinExpr)
+	if or.Op != "OR" {
+		t.Fatalf("top = %s", or.Op)
+	}
+	and := or.L.(*BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("left of OR = %s", and.Op)
+	}
+	eq := and.L.(*BinExpr)
+	if eq.Op != "=" {
+		t.Fatalf("comparison = %s", eq.Op)
+	}
+	add := eq.L.(*BinExpr)
+	if add.Op != "+" {
+		t.Fatalf("lhs = %s", add.Op)
+	}
+	mul := add.R.(*BinExpr)
+	if mul.Op != "*" {
+		t.Fatalf("b*c = %s", mul.Op)
+	}
+}
+
+func TestParseBetweenLikeIsNull(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT a FROM t
+WHERE a BETWEEN 1 AND 10 AND b NOT BETWEEN 2 AND 3
+  AND c LIKE 'x%' AND d NOT LIKE '%y'
+  AND e IS NULL AND f IS NOT NULL`)
+	var nBetween, nLike, nIsNull int
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch v := e.(type) {
+		case *BinExpr:
+			walk(v.L)
+			walk(v.R)
+		case *Between:
+			nBetween++
+		case *Like:
+			nLike++
+		case *IsNull:
+			nIsNull++
+		}
+	}
+	walk(stmt.Body.(*Select).Where)
+	if nBetween != 2 || nLike != 2 || nIsNull != 2 {
+		t.Errorf("between=%d like=%d isnull=%d", nBetween, nLike, nIsNull)
+	}
+}
+
+func TestParseCase(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' ELSE 'many' END lbl FROM t`)
+	ce := stmt.Body.(*Select).Items[0].Expr.(*CaseExpr)
+	if len(ce.Whens) != 2 || ce.Else == nil {
+		t.Errorf("case = %+v", ce)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	stmt := mustParse(t, `SELECT *, t.* FROM t`)
+	items := stmt.Body.(*Select).Items
+	if !items[0].Star || items[0].Qual != "" {
+		t.Error("bare star")
+	}
+	if !items[1].Star || items[1].Qual != "t" {
+		t.Error("qualified star")
+	}
+}
+
+func TestParseParenthesizedSetOp(t *testing.T) {
+	stmt := mustParse(t, `(SELECT a FROM t UNION SELECT b FROM u) MINUS SELECT c FROM v`)
+	so := stmt.Body.(*SetOp)
+	if so.Kind != MinusOp {
+		t.Fatal("top should be MINUS")
+	}
+	if so.Left.(*SetOp).Kind != UnionOp {
+		t.Fatal("left should be the parenthesized UNION")
+	}
+}
+
+func TestParseScalarSubqueryInSelect(t *testing.T) {
+	stmt := mustParse(t, `SELECT (SELECT MAX(x) FROM u) m, a FROM t`)
+	if _, ok := stmt.Body.(*Select).Items[0].Expr.(*ScalarSubquery); !ok {
+		t.Error("scalar subquery in select list")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t extra junk ~",
+		"SELECT a FROM t WHERE a IN",
+		"SELECT a FROM t WHERE (a, b) = 1",
+		"SELECT a FROM t WHERE (a, b) IN (1, 2)",
+		"SELECT (a, b) FROM t",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT CASE END FROM t",
+		"SELECT a FROM t WHERE EXISTS t",
+		"SELECT a FROM t JOIN u",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseUnaryMinusAndArith(t *testing.T) {
+	stmt := mustParse(t, `SELECT -a + 2, 'x' || 'y' FROM t WHERE a / 2 > -3`)
+	items := stmt.Body.(*Select).Items
+	add := items[0].Expr.(*BinExpr)
+	if add.Op != "+" {
+		t.Error("unary minus binds tighter than +")
+	}
+	if _, ok := add.L.(*UnaryExpr); !ok {
+		t.Error("-a should be unary")
+	}
+	concat := items[1].Expr.(*BinExpr)
+	if concat.Op != "||" {
+		t.Error("concat")
+	}
+}
+
+func TestParsePaperQ12(t *testing.T) {
+	// Q12 shape: distinct view joined to outer tables.
+	stmt := mustParse(t, `
+SELECT e1.employee_name, j.job_title
+FROM employees e1, job_history j,
+     (SELECT DISTINCT d.dept_id
+      FROM departments d, locations l
+      WHERE d.loc_id = l.loc_id AND l.country_id IN ('UK', 'US')) V
+WHERE e1.dept_id = V.dept_id AND e1.emp_id = j.emp_id
+  AND j.start_date > '19980101'`)
+	sel := stmt.Body.(*Select)
+	if len(sel.From) != 3 {
+		t.Fatalf("from = %d", len(sel.From))
+	}
+	dt := sel.From[2].(*DerivedTable)
+	if !dt.Select.Body.(*Select).Distinct {
+		t.Error("view should be DISTINCT")
+	}
+}
+
+func TestParseWindowFunctions(t *testing.T) {
+	stmt := mustParse(t, `
+SELECT acct_id, AVG(balance) OVER (PARTITION BY acct_id ORDER BY time
+  RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) ravg,
+  COUNT(*) OVER (PARTITION BY acct_id) cnt,
+  ROW_NUMBER() OVER (ORDER BY balance DESC) rn
+FROM accounts`)
+	items := stmt.Body.(*Select).Items
+	w1 := items[1].Expr.(*FuncCall)
+	if w1.Over == nil || len(w1.Over.PartitionBy) != 1 || len(w1.Over.OrderBy) != 1 || !w1.Over.Running {
+		t.Errorf("running avg window: %+v", w1.Over)
+	}
+	w2 := items[2].Expr.(*FuncCall)
+	if w2.Over == nil || !w2.Star || len(w2.Over.PartitionBy) != 1 || w2.Over.Running {
+		t.Errorf("count(*) window: %+v", w2.Over)
+	}
+	w3 := items[3].Expr.(*FuncCall)
+	if w3.Over == nil || w3.Name != "ROW_NUMBER" || !w3.Over.OrderBy[0].Desc {
+		t.Errorf("row_number window: %+v", w3.Over)
+	}
+}
+
+func TestParseWindowErrors(t *testing.T) {
+	bad := []string{
+		`SELECT AVG(x) OVER FROM t`,
+		`SELECT AVG(x) OVER (ROWS BETWEEN CURRENT ROW AND CURRENT ROW) FROM t`,
+		`SELECT AVG(x) OVER (PARTITION x) FROM t`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("should fail: %s", src)
+		}
+	}
+}

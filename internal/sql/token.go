@@ -1,0 +1,57 @@
+// Package sql implements the SQL frontend: lexer, abstract syntax tree and
+// recursive-descent parser for the SQL dialect used throughout the paper —
+// SELECT with DISTINCT, inline views, ANSI LEFT OUTER JOIN, correlated
+// subqueries (IN / NOT IN / EXISTS / NOT EXISTS / ANY / ALL / scalar),
+// GROUP BY (including ROLLUP), HAVING, ORDER BY, UNION [ALL], INTERSECT,
+// MINUS, and Oracle's ROWNUM.
+package sql
+
+import "fmt"
+
+// TokKind classifies a lexical token.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol // punctuation and operators: ( ) , . + - * / = <> < <= > >= ||
+)
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords is the set of reserved words. Everything else is an identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "DISTINCT": true, "ALL": true, "ANY": true,
+	"SOME": true, "IN": true, "EXISTS": true, "NOT": true, "AND": true,
+	"OR": true, "NULL": true, "IS": true, "BETWEEN": true, "LIKE": true,
+	"UNION": true, "INTERSECT": true, "MINUS": true, "EXCEPT": true,
+	"JOIN": true, "LEFT": true, "RIGHT": true, "FULL": true, "OUTER": true,
+	"INNER": true, "ON": true, "AS": true, "ASC": true, "DESC": true,
+	"ROWNUM": true, "ROLLUP": true, "GROUPING": true, "SETS": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"TRUE": true, "FALSE": true,
+	// Window functions.
+	"OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
+	"UNBOUNDED": true, "PRECEDING": true, "CURRENT": true, "ROW": true,
+}

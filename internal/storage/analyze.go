@@ -1,0 +1,70 @@
+package storage
+
+import (
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+// histBuckets is the number of equi-height histogram buckets ANALYZE builds
+// for each column.
+const histBuckets = 16
+
+// Analyze computes optimizer statistics for a table: row count and, per
+// column, distinct-value count, null count, min/max, and an equi-height
+// histogram. It corresponds to collecting optimizer statistics in the paper
+// (dynamic sampling is modeled by the optimizer's computation cache, §3.4.4).
+func Analyze(t *Table) *catalog.TableStats {
+	stats := &catalog.TableStats{
+		RowCount: int64(len(t.Rows)),
+		Cols:     make([]catalog.ColStats, len(t.Meta.Cols)),
+	}
+	for c := range t.Meta.Cols {
+		stats.Cols[c] = analyzeColumn(t, c)
+	}
+	return stats
+}
+
+func analyzeColumn(t *Table, c int) catalog.ColStats {
+	var cs catalog.ColStats
+	vals := make([]datum.Datum, 0, len(t.Rows))
+	distinct := map[string]struct{}{}
+	for _, r := range t.Rows {
+		v := r[c]
+		if v.IsNull() {
+			cs.NullCount++
+			continue
+		}
+		vals = append(vals, v)
+		distinct[v.Key()] = struct{}{}
+	}
+	cs.NDV = int64(len(distinct))
+	if len(vals) == 0 {
+		return cs
+	}
+	sort.Slice(vals, func(i, j int) bool {
+		return datum.MustCompare(vals[i], vals[j]) < 0
+	})
+	cs.Min, cs.Max = vals[0], vals[len(vals)-1]
+	// Equi-height histogram.
+	n := histBuckets
+	if n > len(vals) {
+		n = len(vals)
+	}
+	per := len(vals) / n
+	rem := len(vals) % n
+	pos := 0
+	for b := 0; b < n; b++ {
+		cnt := per
+		if b < rem {
+			cnt++
+		}
+		pos += cnt
+		cs.Hist = append(cs.Hist, catalog.HistBucket{
+			UpperBound: vals[pos-1],
+			Count:      int64(cnt),
+		})
+	}
+	return cs
+}

@@ -1,0 +1,220 @@
+// Package storage implements the in-memory storage engine: heap tables,
+// ordered secondary indexes with binary-search range scans, and the ANALYZE
+// pass that collects the optimizer statistics defined in package catalog.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+// Row is a table row: one datum per declared column.
+type Row []datum.Datum
+
+// Table is an in-memory heap table plus its built indexes.
+type Table struct {
+	Meta    *catalog.Table
+	Rows    []Row
+	indexes map[string]*Index // by index name
+}
+
+// NewTable creates an empty table for the given metadata.
+func NewTable(meta *catalog.Table) *Table {
+	return &Table{Meta: meta, indexes: map[string]*Index{}}
+}
+
+// Append adds a row after validating its arity and column kinds.
+func (t *Table) Append(vals ...datum.Datum) error {
+	if len(vals) != len(t.Meta.Cols) {
+		return fmt.Errorf("storage: %s: got %d values, want %d", t.Meta.Name, len(vals), len(t.Meta.Cols))
+	}
+	for i, v := range vals {
+		if v.IsNull() {
+			if !t.Meta.Cols[i].Nullable {
+				return fmt.Errorf("storage: %s.%s: NULL in non-nullable column", t.Meta.Name, t.Meta.Cols[i].Name)
+			}
+			continue
+		}
+		want := t.Meta.Cols[i].Type
+		got := v.Kind()
+		// Ints are acceptable in float columns.
+		if got != want && !(want == datum.KFloat && got == datum.KInt) {
+			return fmt.Errorf("storage: %s.%s: kind %s, want %s", t.Meta.Name, t.Meta.Cols[i].Name, got, want)
+		}
+	}
+	t.Rows = append(t.Rows, Row(vals))
+	return nil
+}
+
+// MustAppend is Append but panics on error; for test and generator code.
+func (t *Table) MustAppend(vals ...datum.Datum) {
+	if err := t.Append(vals...); err != nil {
+		panic(err)
+	}
+}
+
+// BuildIndexes (re)builds every index declared in the table metadata.
+func (t *Table) BuildIndexes() {
+	t.indexes = map[string]*Index{}
+	for _, im := range t.Meta.Indexes {
+		t.indexes[im.Name] = buildIndex(t, im)
+	}
+}
+
+// Index returns the built index with the given name, or nil.
+func (t *Table) Index(name string) *Index {
+	return t.indexes[name]
+}
+
+// Index is an ordered secondary index: row numbers sorted by key columns.
+type Index struct {
+	Meta  *catalog.Index
+	table *Table
+	order []int32 // row numbers in key order; NULL keys sort first
+}
+
+func buildIndex(t *Table, meta *catalog.Index) *Index {
+	idx := &Index{Meta: meta, table: t, order: make([]int32, len(t.Rows))}
+	for i := range idx.order {
+		idx.order[i] = int32(i)
+	}
+	sort.SliceStable(idx.order, func(a, b int) bool {
+		ra, rb := t.Rows[idx.order[a]], t.Rows[idx.order[b]]
+		for _, c := range meta.Cols {
+			va, vb := ra[c], rb[c]
+			if va.IsNull() || vb.IsNull() {
+				if va.IsNull() && vb.IsNull() {
+					continue
+				}
+				return va.IsNull() // NULLs first
+			}
+			cmp := datum.MustCompare(va, vb)
+			if cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+	return idx
+}
+
+// keyCompare compares a row's leading index columns against key. A NULL in
+// the row sorts before any non-null key value.
+func (ix *Index) keyCompare(rowNum int32, key []datum.Datum) int {
+	row := ix.table.Rows[rowNum]
+	for i, k := range key {
+		v := row[ix.Meta.Cols[i]]
+		if v.IsNull() {
+			return -1
+		}
+		cmp := datum.MustCompare(v, k)
+		if cmp != 0 {
+			return cmp
+		}
+	}
+	return 0
+}
+
+// EqualRange returns the row numbers whose leading index columns equal key.
+// A NULL in the key matches nothing (SQL equality semantics).
+func (ix *Index) EqualRange(key []datum.Datum) []int32 {
+	for _, k := range key {
+		if k.IsNull() {
+			return nil
+		}
+	}
+	lo := sort.Search(len(ix.order), func(i int) bool {
+		return ix.keyCompare(ix.order[i], key) >= 0
+	})
+	hi := sort.Search(len(ix.order), func(i int) bool {
+		return ix.keyCompare(ix.order[i], key) > 0
+	})
+	return ix.order[lo:hi]
+}
+
+// Range returns the row numbers whose first index column lies in the
+// interval described by lo/hi (either may be null Datum + ok=false for
+// unbounded). NULL column values never match.
+func (ix *Index) Range(lo datum.Datum, loInc bool, hasLo bool, hi datum.Datum, hiInc bool, hasHi bool) []int32 {
+	col := ix.Meta.Cols[0]
+	start := 0
+	if hasLo {
+		start = sort.Search(len(ix.order), func(i int) bool {
+			v := ix.table.Rows[ix.order[i]][col]
+			if v.IsNull() {
+				return false
+			}
+			cmp := datum.MustCompare(v, lo)
+			if loInc {
+				return cmp >= 0
+			}
+			return cmp > 0
+		})
+	} else {
+		// Skip leading NULLs.
+		start = sort.Search(len(ix.order), func(i int) bool {
+			return !ix.table.Rows[ix.order[i]][col].IsNull()
+		})
+	}
+	end := len(ix.order)
+	if hasHi {
+		end = sort.Search(len(ix.order), func(i int) bool {
+			v := ix.table.Rows[ix.order[i]][col]
+			if v.IsNull() {
+				return false
+			}
+			cmp := datum.MustCompare(v, hi)
+			if hiInc {
+				return cmp > 0
+			}
+			return cmp >= 0
+		})
+	}
+	if start > end {
+		return nil
+	}
+	return ix.order[start:end]
+}
+
+// DB is a database instance: a catalog plus the stored tables.
+type DB struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// NewDB creates an empty database over the given catalog.
+func NewDB(cat *catalog.Catalog) *DB {
+	return &DB{Catalog: cat, tables: map[string]*Table{}}
+}
+
+// CreateTable registers table metadata in the catalog and creates empty
+// storage for it.
+func (db *DB) CreateTable(meta *catalog.Table) (*Table, error) {
+	if err := db.Catalog.AddTable(meta); err != nil {
+		return nil, err
+	}
+	t := NewTable(meta)
+	db.tables[meta.Name] = t
+	return t, nil
+}
+
+// Table returns the stored table by (case-insensitive) name, or nil.
+func (db *DB) Table(name string) *Table {
+	meta := db.Catalog.Table(name)
+	if meta == nil {
+		return nil
+	}
+	return db.tables[meta.Name]
+}
+
+// Finalize builds all indexes and collects statistics for every table.
+// Call after loading data.
+func (db *DB) Finalize() {
+	for _, t := range db.tables {
+		t.BuildIndexes()
+		t.Meta.Stats = Analyze(t)
+	}
+}

@@ -1,0 +1,107 @@
+package testkit
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/storage"
+)
+
+// TinyDB builds a minimal hand-checkable database used by transformation
+// equivalence tests. It deliberately includes NULLs in join columns so
+// null-sensitive transformations (NOT IN, set operators) are exercised.
+//
+//	DEPT: (10, eng, 1), (20, ops, 2), (30, hr, 1), (40, empty, NULL)
+//	EMP:  6 rows; fay has a NULL dept_id, ann a NULL mgr_id
+//	PROJ: projects with dept_id and budgets (dept 10 has two, 20 one)
+func TinyDB() *storage.DB {
+	cat := catalog.New()
+	db := storage.NewDB(cat)
+
+	dept, err := db.CreateTable(&catalog.Table{
+		Name: "DEPT",
+		Cols: []catalog.Column{
+			{Name: "DEPT_ID", Type: datum.KInt},
+			{Name: "NAME", Type: datum.KString},
+			{Name: "LOC_ID", Type: datum.KInt, Nullable: true},
+		},
+		PrimaryKey: []int{0},
+		Indexes:    []*catalog.Index{{Name: "DEPT_PK", Cols: []int{0}, Unique: true}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	emp, err := db.CreateTable(&catalog.Table{
+		Name: "EMP",
+		Cols: []catalog.Column{
+			{Name: "EMP_ID", Type: datum.KInt},
+			{Name: "NAME", Type: datum.KString},
+			{Name: "DEPT_ID", Type: datum.KInt, Nullable: true},
+			{Name: "SALARY", Type: datum.KFloat},
+			{Name: "MGR_ID", Type: datum.KInt, Nullable: true},
+		},
+		PrimaryKey: []int{0},
+		ForeignKeys: []catalog.ForeignKey{
+			{Cols: []int{2}, RefTable: "DEPT", RefCols: []int{0}},
+		},
+		Indexes: []*catalog.Index{
+			{Name: "EMP_PK", Cols: []int{0}, Unique: true},
+			{Name: "EMP_DEPT", Cols: []int{2}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	proj, err := db.CreateTable(&catalog.Table{
+		Name: "PROJ",
+		Cols: []catalog.Column{
+			{Name: "PROJ_ID", Type: datum.KInt},
+			{Name: "DEPT_ID", Type: datum.KInt, Nullable: true},
+			{Name: "BUDGET", Type: datum.KFloat},
+			{Name: "PNAME", Type: datum.KString},
+		},
+		PrimaryKey: []int{0},
+		Indexes: []*catalog.Index{
+			{Name: "PROJ_PK", Cols: []int{0}, Unique: true},
+			{Name: "PROJ_DEPT", Cols: []int{1}},
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	d := func(vals ...interface{}) []datum.Datum {
+		out := make([]datum.Datum, len(vals))
+		for i, v := range vals {
+			switch x := v.(type) {
+			case nil:
+				out[i] = datum.Null
+			case int:
+				out[i] = datum.NewInt(int64(x))
+			case float64:
+				out[i] = datum.NewFloat(x)
+			case string:
+				out[i] = datum.NewString(x)
+			}
+		}
+		return out
+	}
+	dept.MustAppend(d(10, "eng", 1)...)
+	dept.MustAppend(d(20, "ops", 2)...)
+	dept.MustAppend(d(30, "hr", 1)...)
+	dept.MustAppend(d(40, "empty", nil)...)
+
+	emp.MustAppend(d(1, "ann", 10, 100.0, nil)...)
+	emp.MustAppend(d(2, "bob", 10, 200.0, 1)...)
+	emp.MustAppend(d(3, "cal", 20, 300.0, 1)...)
+	emp.MustAppend(d(4, "dee", 20, 50.0, 3)...)
+	emp.MustAppend(d(5, "eli", 30, 250.0, 1)...)
+	emp.MustAppend(d(6, "fay", nil, 150.0, 2)...)
+
+	proj.MustAppend(d(100, 10, 1000.0, "alpha")...)
+	proj.MustAppend(d(101, 10, 500.0, "beta")...)
+	proj.MustAppend(d(102, 20, 800.0, "gamma")...)
+	proj.MustAppend(d(103, nil, 300.0, "orphan")...)
+
+	db.Finalize()
+	return db
+}

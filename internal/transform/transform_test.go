@@ -1,0 +1,860 @@
+package transform
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+// results optimizes and executes q, returning the sorted multiset of rows.
+func results(t *testing.T, db *storage.DB, q *qtree.Query) []string {
+	t.Helper()
+	p := optimizer.New(db.Catalog)
+	plan, err := p.Optimize(q)
+	if err != nil {
+		t.Fatalf("optimize: %v\nSQL: %s", err, q.SQL())
+	}
+	res, err := exec.Run(db, plan)
+	if err != nil {
+		t.Fatalf("run: %v\nSQL: %s\n%s", err, q.SQL(), optimizer.Explain(plan))
+	}
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		parts := make([]string, len(r))
+		for j, d := range r {
+			parts[j] = d.String()
+		}
+		out[i] = strings.Join(parts, "|")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// assertEquivalent checks that mutate preserves query semantics.
+func assertEquivalent(t *testing.T, db *storage.DB, src string, mutate func(*qtree.Query) bool) {
+	t.Helper()
+	base := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, base)
+
+	q := qtree.MustBind(src, db.Catalog)
+	if !mutate(q) {
+		t.Fatalf("transformation did not apply to %s", src)
+	}
+	got := results(t, db, q)
+	if !sameRows(want, got) {
+		t.Errorf("results differ\nsql: %s\ntransformed: %s\nwant: %v\ngot:  %v",
+			src, q.SQL(), want, got)
+	}
+}
+
+func heuristic(name string) func(*qtree.Query) bool {
+	return func(q *qtree.Query) bool {
+		for _, r := range Heuristics() {
+			if r.Name() == name {
+				ch, err := r.Apply(q)
+				if err != nil {
+					panic(err)
+				}
+				return ch
+			}
+		}
+		return false
+	}
+}
+
+func costBased(t *testing.T, name string, obj, variant int) func(*qtree.Query) bool {
+	return func(q *qtree.Query) bool {
+		for _, r := range CostBasedRules() {
+			if r.Name() != name {
+				continue
+			}
+			if r.Find(q) <= obj {
+				return false
+			}
+			if err := r.Apply(q, obj, variant); err != nil {
+				t.Fatalf("%s apply: %v", name, err)
+			}
+			return true
+		}
+		return false
+	}
+}
+
+func TestSPJViewMerge(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT v.name, v.sal FROM
+	        (SELECT e.name name, e.salary sal, e.dept_id d FROM emp e WHERE e.salary > 100) v
+	        WHERE v.d = 10`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&SPJViewMerge{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("merge: %v %v", ch, err)
+	}
+	if q2.Root.From[0].View != nil || len(q2.Root.From) != 1 {
+		t.Fatalf("view not merged: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+func TestSPJViewMergeNested(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT x.n FROM (SELECT v.name n FROM (SELECT e.name name FROM emp e) v) x`,
+		heuristic("spj view merging"))
+}
+
+func TestJoinEliminationFK(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT e.name, e.salary FROM emp e, dept d WHERE e.dept_id = d.dept_id`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&JoinElimination{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("eliminate: %v %v", ch, err)
+	}
+	if len(q2.Root.From) != 1 {
+		t.Fatalf("dept not eliminated: %s", q2.SQL())
+	}
+	// The nullable FK requires an IS NOT NULL guard.
+	found := false
+	for _, e := range q2.Root.Where {
+		if n, ok := e.(*qtree.IsNull); ok && n.Neg {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing NOT NULL guard: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+func TestJoinEliminationNotWhenReferenced(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(`SELECT e.name, d.name FROM emp e, dept d WHERE e.dept_id = d.dept_id`, db.Catalog)
+	ch, err := (&JoinElimination{}).Apply(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch {
+		t.Error("must not eliminate a referenced table")
+	}
+}
+
+func TestJoinEliminationOuterUnique(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name, e.salary FROM emp e LEFT OUTER JOIN dept d ON e.dept_id = d.dept_id`,
+		heuristic("join elimination"))
+}
+
+func TestUnnestMergeExists(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT d.name FROM dept d WHERE EXISTS
+	        (SELECT 1 FROM emp e WHERE e.dept_id = d.dept_id AND e.salary > 150)`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&UnnestMerge{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("unnest: %v %v", ch, err)
+	}
+	if len(q2.Root.From) != 2 || q2.Root.From[1].Kind != qtree.JoinSemi {
+		t.Fatalf("no semijoin: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+func TestUnnestMergeNotExists(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT d.name FROM dept d WHERE NOT EXISTS
+(SELECT 1 FROM emp e WHERE e.dept_id = d.dept_id)`,
+		heuristic("subquery unnesting (merge)"))
+}
+
+func TestUnnestMergeIn(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.dept_id IN (SELECT d.dept_id FROM dept d WHERE d.loc_id = 1)`,
+		heuristic("subquery unnesting (merge)"))
+}
+
+func TestUnnestMergeNotInNullAware(t *testing.T) {
+	db := testkit.TinyDB()
+	// Null on the probe side (fay's dept), no nulls in subquery output.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.dept_id NOT IN (SELECT d.dept_id FROM dept d WHERE d.loc_id = 1)`,
+		heuristic("subquery unnesting (merge)"))
+	// Null in subquery output: NOT IN filters everything.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.dept_id NOT IN (SELECT d.loc_id FROM dept d)`,
+		heuristic("subquery unnesting (merge)"))
+	// Correlated NOT IN with a strict inner predicate.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.emp_id NOT IN
+(SELECT e2.mgr_id FROM emp e2 WHERE e2.dept_id = e.dept_id)`,
+		heuristic("subquery unnesting (merge)"))
+}
+
+func TestPredicatePushIntoView(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT v.d, v.avg_sal FROM
+	        (SELECT e.dept_id d, AVG(e.salary) avg_sal FROM emp e GROUP BY e.dept_id) v
+	        WHERE v.d = 10`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&PredicateMoveAround{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("move around: %v %v", ch, err)
+	}
+	if len(q2.Root.Where) != 0 {
+		t.Fatalf("predicate not pushed: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+func TestPredicateNotPushedPastAggregateOutput(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(`SELECT v.avg_sal FROM
+	    (SELECT e.dept_id d, AVG(e.salary) avg_sal FROM emp e GROUP BY e.dept_id) v
+	    WHERE v.avg_sal > 100`, db.Catalog)
+	before := len(q.Root.Where)
+	if _, err := (&PredicateMoveAround{}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Root.Where) != before {
+		t.Error("aggregate-output predicate must not be pushed below GROUP BY")
+	}
+}
+
+func TestPredicatePushIntoUnionAll(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT v.i FROM
+(SELECT e.dept_id i FROM emp e UNION ALL SELECT d.dept_id i FROM dept d) v
+WHERE v.i = 10`,
+		heuristic("filter predicate move around"))
+}
+
+func TestPredicateNotPushedIntoMinusSubtrahend(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT v.i FROM
+(SELECT e.dept_id i FROM emp e MINUS SELECT d.loc_id i FROM dept d) v
+WHERE v.i > 0`,
+		heuristic("filter predicate move around"))
+}
+
+func TestTransitivePredicates(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT e.name FROM emp e, dept d WHERE e.dept_id = d.dept_id AND d.dept_id = 10`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&PredicateMoveAround{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("transitive: %v %v", ch, err)
+	}
+	if len(q2.Root.Where) != 3 {
+		t.Errorf("expected derived e.dept_id = 10, got: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+func TestGroupPruning(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT v.l, v.d, v.cnt FROM
+	        (SELECT d.loc_id l, d.dept_id d, COUNT(*) cnt FROM dept d
+	         GROUP BY ROLLUP(d.loc_id, d.dept_id)) v
+	        WHERE v.d = 10`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&GroupPruning{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("prune: %v %v", ch, err)
+	}
+	v := q2.Root.From[0].View
+	if len(v.GroupingSets) != 1 {
+		t.Errorf("sets = %d, want 1 (only the full set keeps d non-null)", len(v.GroupingSets))
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+}
+
+const q1Tiny = `
+SELECT e.name FROM emp e, dept d
+WHERE e.dept_id = d.dept_id AND
+  e.salary > (SELECT AVG(e2.salary) FROM emp e2 WHERE e2.dept_id = e.dept_id)`
+
+func TestUnnestAggSubqueryVariant1(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(q1Tiny, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(q1Tiny, db.Catalog)
+	r := &UnnestSubquery{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d", r.Find(q2))
+	}
+	if r.Variants(q2, 0) != 2 {
+		t.Fatalf("variants = %d (unnest, unnest+merge)", r.Variants(q2, 0))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The query now has a group-by view joined in.
+	var gbView *qtree.FromItem
+	for _, f := range q2.Root.From {
+		if f.View != nil && f.View.HasGroupBy() {
+			gbView = f
+		}
+	}
+	if gbView == nil {
+		t.Fatalf("no group-by view: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("variant 1 differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestUnnestAggSubqueryVariant2Interleaved(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(q1Tiny, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(q1Tiny, db.Catalog)
+	r := &UnnestSubquery{}
+	if err := r.Apply(q2, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Fully merged: no views left, outer block is grouped with HAVING.
+	for _, f := range q2.Root.From {
+		if f.View != nil {
+			t.Fatalf("view should have been merged: %s", q2.SQL())
+		}
+	}
+	if len(q2.Root.Having) == 0 {
+		t.Fatalf("expected HAVING after merge: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("variant 2 differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestUnnestMultiTableIn(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT e.name FROM emp e WHERE e.dept_id IN
+	        (SELECT d.dept_id FROM dept d, proj p WHERE p.dept_id = d.dept_id AND p.budget > 400)`
+	assertEquivalent(t, db, src, costBased(t, "subquery unnesting", 0, 1))
+	// Check it used a semijoined view.
+	q := qtree.MustBind(src, db.Catalog)
+	r := &UnnestSubquery{}
+	if err := r.Apply(q, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range q.Root.From {
+		if f.View != nil && f.Kind == qtree.JoinSemi {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected semijoined view: %s", q.SQL())
+	}
+}
+
+func TestUnnestMultiTableNotExists(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE NOT EXISTS
+(SELECT 1 FROM dept d, proj p WHERE p.dept_id = d.dept_id AND d.dept_id = e.dept_id)`,
+		costBased(t, "subquery unnesting", 0, 1))
+}
+
+func TestUnnestCorrelatedMultiTableExists(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE EXISTS
+(SELECT 1 FROM dept d, proj p WHERE p.dept_id = d.dept_id AND d.dept_id = e.dept_id AND p.budget > 400)`,
+		costBased(t, "subquery unnesting", 0, 1))
+}
+
+func TestUnnestNotInViewNullAware(t *testing.T) {
+	db := testkit.TinyDB()
+	// proj.dept_id contains NULL: NOT IN must yield nothing.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.dept_id NOT IN
+(SELECT p.dept_id FROM proj p, dept d WHERE p.dept_id = d.dept_id OR p.budget > 0)`,
+		costBased(t, "subquery unnesting", 0, 1))
+}
+
+const q12Tiny = `
+SELECT e.name FROM emp e,
+(SELECT DISTINCT p.dept_id FROM proj p, dept d WHERE p.dept_id = d.dept_id AND p.budget > 400) v
+WHERE e.dept_id = v.dept_id`
+
+func TestViewStrategyMergeDistinct(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, q12Tiny, costBased(t, "group-by view merging / join predicate pushdown", 0, 1))
+}
+
+func TestViewStrategyJPPD(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(q12Tiny, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(q12Tiny, db.Catalog)
+	r := &ViewStrategy{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d", r.Find(q2))
+	}
+	if r.Variants(q2, 0) != 2 {
+		t.Fatalf("variants = %d (merge, jppd)", r.Variants(q2, 0))
+	}
+	if err := r.Apply(q2, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Q13 shape: lateral view, distinct removed, semijoin.
+	v := q2.Root.From[1]
+	if !v.Lateral || v.Kind != qtree.JoinSemi || v.View.Distinct {
+		t.Fatalf("JPPD shape wrong (lateral=%v kind=%v distinct=%v): %s",
+			v.Lateral, v.Kind, v.View.Distinct, q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("JPPD differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestJPPDGroupByView(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name, v.total FROM emp e,
+(SELECT p.dept_id dd, SUM(p.budget) total FROM proj p GROUP BY p.dept_id) v
+WHERE e.dept_id = v.dd`,
+		costBased(t, "group-by view merging / join predicate pushdown", 0, 2))
+}
+
+func TestJPPDUnionAllView(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name, v.x FROM emp e,
+(SELECT p.dept_id i, p.budget x FROM proj p
+ UNION ALL SELECT d.dept_id i, 0 x FROM dept d) v
+WHERE v.i = e.dept_id`,
+		costBased(t, "group-by view merging / join predicate pushdown", 0, 1))
+}
+
+func TestGroupByViewMergeWithAggregates(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT e.name, v.avg_sal FROM emp e,
+(SELECT e2.dept_id dd, AVG(e2.salary) avg_sal FROM emp e2 GROUP BY e2.dept_id) v
+WHERE e.dept_id = v.dd AND e.salary > v.avg_sal`,
+		costBased(t, "group-by view merging / join predicate pushdown", 0, 1))
+}
+
+func TestGroupByPlacement(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT d.name, SUM(p.budget) FROM dept d, proj p
+	        WHERE d.dept_id = p.dept_id GROUP BY d.name`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	r := &GroupByPlacement{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d", r.Find(q2))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// proj should now be wrapped in a group-by view.
+	var vw *qtree.FromItem
+	for _, f := range q2.Root.From {
+		if f.View != nil {
+			vw = f
+		}
+	}
+	if vw == nil || !vw.View.HasGroupBy() {
+		t.Fatalf("no pushed group-by view: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("GBP differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestGroupByPlacementAvgCountStar(t *testing.T) {
+	db := testkit.TinyDB()
+	assertEquivalent(t, db, `
+SELECT d.name, AVG(p.budget), COUNT(*), MIN(p.budget) FROM dept d, proj p
+WHERE d.dept_id = p.dept_id GROUP BY d.name`,
+		costBased(t, "group-by placement", 0, 1))
+}
+
+func TestSetOpIntoJoinIntersect(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT e.dept_id FROM emp e INTERSECT SELECT d.dept_id FROM dept d`
+	assertEquivalent(t, db, src, costBased(t, "set operators into joins", 0, 1))
+	assertEquivalent(t, db, src, costBased(t, "set operators into joins", 0, 2))
+}
+
+func TestSetOpIntoJoinMinusWithNulls(t *testing.T) {
+	db := testkit.TinyDB()
+	// emp.dept_id has a NULL; dept.loc_id has a NULL: MINUS null-matching
+	// must hold through the antijoin conversion.
+	src := `SELECT e.dept_id FROM emp e MINUS SELECT d.loc_id FROM dept d`
+	assertEquivalent(t, db, src, costBased(t, "set operators into joins", 0, 1))
+	assertEquivalent(t, db, src, costBased(t, "set operators into joins", 0, 2))
+}
+
+func TestOrExpansion(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT e.name FROM emp e WHERE e.dept_id = 10 OR e.salary > 200`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	r := &OrExpansion{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d", r.Find(q2))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Root.Set == nil || q2.Root.Set.Kind != qtree.SetUnionAll {
+		t.Fatalf("no union all: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("or expansion differs\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestOrExpansionNullSemantics(t *testing.T) {
+	db := testkit.TinyDB()
+	// fay has NULL dept_id: (dept = 10 OR dept <> 10) excludes her; the
+	// LNNVL branches must preserve that.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.dept_id = 10 OR e.dept_id <> 10`,
+		costBased(t, "disjunction into UNION ALL", 0, 1))
+	// Overlapping disjuncts must not duplicate rows.
+	assertEquivalent(t, db, `
+SELECT e.name FROM emp e WHERE e.salary > 100 OR e.salary > 200`,
+		costBased(t, "disjunction into UNION ALL", 0, 1))
+}
+
+func TestJoinFactorization(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `
+SELECT d.name, e.name FROM emp e, dept d WHERE e.dept_id = d.dept_id AND e.salary > 200
+UNION ALL
+SELECT d.name, p.pname FROM proj p, dept d WHERE p.dept_id = d.dept_id`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	r := &JoinFactorization{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d (DEPT is common)", r.Find(q2))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if q2.Root.Set != nil {
+		t.Fatalf("root should be a join now: %s", q2.SQL())
+	}
+	hasUnionView := false
+	for _, f := range q2.Root.From {
+		if f.View != nil && f.View.IsSetOp() {
+			hasUnionView = true
+		}
+	}
+	if !hasUnionView {
+		t.Fatalf("no union-all view: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("factorization differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestPredicatePullup(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `
+SELECT v.name FROM
+(SELECT e.name name, e.emp_id FROM emp e
+ WHERE SLOW_MATCH(e.name, 'a') AND e.salary > 50 ORDER BY e.emp_id) v
+WHERE rownum <= 3`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	r := &PredicatePullup{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d (one expensive predicate)", r.Find(q2))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The expensive predicate must now be in the outer block.
+	foundOuter := false
+	for _, e := range q2.Root.Where {
+		if isExpensive(e) {
+			foundOuter = true
+		}
+	}
+	if !foundOuter {
+		t.Fatalf("predicate not pulled: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("pullup differs\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestApplyHeuristicsFixpoint(t *testing.T) {
+	db := testkit.TinyDB()
+	// A query exercising several heuristics at once.
+	src := `
+SELECT v.name FROM
+(SELECT e.name name, e.dept_id d, e.salary s FROM emp e, dept dd WHERE e.dept_id = dd.dept_id) v
+WHERE v.d = 10 AND EXISTS (SELECT 1 FROM proj p WHERE p.dept_id = v.d)`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	if err := ApplyHeuristics(q2); err != nil {
+		t.Fatal(err)
+	}
+	// The SPJ view merged, dept eliminated (FK), EXISTS became semijoin.
+	for _, f := range q2.Root.From {
+		if f.View != nil {
+			t.Errorf("view survived: %s", q2.SQL())
+		}
+	}
+	hasSemi := false
+	for _, f := range q2.Root.From {
+		if f.Kind == qtree.JoinSemi {
+			hasSemi = true
+		}
+	}
+	if !hasSemi {
+		t.Errorf("EXISTS not unnested: %s", q2.SQL())
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("heuristics differ\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestRuleObjectsStableAcrossClone(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(q1Tiny, db.Catalog)
+	for _, r := range CostBasedRules() {
+		n := r.Find(q)
+		clone, _ := q.Clone()
+		if got := r.Find(clone); got != n {
+			t.Errorf("%s: objects change across clone: %d vs %d", r.Name(), n, got)
+		}
+	}
+}
+
+func TestJoinFactorizationLateral(t *testing.T) {
+	db := testkit.TinyDB()
+	// Join predicates with different shapes per branch: the strict variant
+	// cannot pull them out (different T column ordinals), but the lateral
+	// variant factorizes anyway.
+	src := `
+SELECT d.name, e.name FROM emp e, dept d WHERE e.dept_id = d.dept_id AND e.salary > 100
+UNION ALL
+SELECT d.name, p.pname FROM proj p, dept d WHERE p.dept_id = d.loc_id`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+
+	q2 := qtree.MustBind(src, db.Catalog)
+	r := &JoinFactorization{}
+	if r.Find(q2) != 1 {
+		t.Fatalf("objects = %d", r.Find(q2))
+	}
+	// Different join ordinals across branches: only the lateral variant is
+	// legal, so it is variant 1.
+	if r.Variants(q2, 0) != 1 {
+		t.Fatalf("variants = %d, want 1 (lateral only)", r.Variants(q2, 0))
+	}
+	if err := r.Apply(q2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Shape: DEPT joined with a lateral union-all view.
+	if q2.Root.Set != nil || len(q2.Root.From) != 2 || !q2.Root.From[1].Lateral {
+		t.Fatalf("lateral factorization shape: %s", q2.SQL())
+	}
+	got := results(t, db, q2)
+	if !sameRows(want, got) {
+		t.Errorf("lateral factorization differs\nwant %v\ngot  %v\nsql %s", want, got, q2.SQL())
+	}
+}
+
+func TestJoinFactorizationLateralSameShape(t *testing.T) {
+	db := testkit.TinyDB()
+	// When both variants are legal, both must preserve semantics.
+	src := `
+SELECT d.name, e.name FROM emp e, dept d WHERE e.dept_id = d.dept_id AND e.salary > 200
+UNION ALL
+SELECT d.name, p.pname FROM proj p, dept d WHERE p.dept_id = d.dept_id`
+	assertEquivalent(t, db, src, costBased(t, "join factorization", 0, 1))
+	assertEquivalent(t, db, src, costBased(t, "join factorization", 0, 2))
+}
+
+func TestDistinctEliminationOnUniqueKey(t *testing.T) {
+	db := testkit.TinyDB()
+	// emp_id is the primary key: DISTINCT is redundant.
+	src := `SELECT DISTINCT e.emp_id, e.name FROM emp e WHERE e.salary > 100`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	ch, err := (&RedundancyPruning{}).Apply(q2)
+	if err != nil || !ch {
+		t.Fatalf("prune: %v %v", ch, err)
+	}
+	if q2.Root.Distinct {
+		t.Fatal("distinct should be eliminated")
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("want %v got %v", want, got)
+	}
+	// Rowid also qualifies, per joined table.
+	src = `SELECT DISTINCT e.rowid, d.dept_id FROM emp e, dept d WHERE e.dept_id = d.dept_id`
+	assertEquivalent(t, db, src, heuristic("redundancy pruning"))
+}
+
+func TestDistinctNotEliminatedWithoutKey(t *testing.T) {
+	db := testkit.TinyDB()
+	cases := []string{
+		// dept_id is not unique in emp.
+		`SELECT DISTINCT e.dept_id FROM emp e`,
+		// Unique on one side only.
+		`SELECT DISTINCT e.emp_id FROM emp e, dept d WHERE e.dept_id = d.dept_id`,
+		// Outer join pads with NULL rows.
+		`SELECT DISTINCT e.emp_id, d.dept_id FROM emp e LEFT OUTER JOIN dept d ON e.dept_id = d.dept_id`,
+	}
+	for _, src := range cases {
+		q := qtree.MustBind(src, db.Catalog)
+		if _, err := (&RedundancyPruning{}).Apply(q); err != nil {
+			t.Fatal(err)
+		}
+		if !q.Root.Distinct {
+			t.Errorf("distinct must survive: %s", src)
+		}
+	}
+}
+
+func TestViewOrderByPruned(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `SELECT v.n FROM (SELECT e.name n FROM emp e ORDER BY e.salary) v WHERE v.n LIKE '%a%'`
+	q := qtree.MustBind(src, db.Catalog)
+	ch, err := (&RedundancyPruning{}).Apply(q)
+	if err != nil || !ch {
+		t.Fatalf("prune: %v %v", ch, err)
+	}
+	if len(q.Root.From[0].View.OrderBy) != 0 {
+		t.Error("pointless view order by should be pruned")
+	}
+	// Under a rownum limit the order is observable and must survive.
+	src = `SELECT v.n FROM (SELECT e.name n FROM emp e ORDER BY e.salary) v WHERE rownum <= 2`
+	q = qtree.MustBind(src, db.Catalog)
+	if _, err := (&RedundancyPruning{}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Root.From[0].View.OrderBy) == 0 {
+		t.Error("top-k view order by must survive")
+	}
+}
+
+func TestPredicateMoveAcrossViews(t *testing.T) {
+	db := testkit.TinyDB()
+	// The filter dept_id = 10 lives inside v1; move-around must pull it
+	// up, propagate it across the join equality, and push it into v2 —
+	// the full pull-up / move-across / push-down loop of §2.1.3.
+	src := `
+SELECT v1.n, v2.p FROM
+(SELECT e.name n, e.dept_id d FROM emp e WHERE e.dept_id = 10) v1,
+(SELECT p.pname p, p.dept_id d FROM proj p) v2
+WHERE v1.d = v2.d`
+	q := qtree.MustBind(src, db.Catalog)
+	want := results(t, db, q)
+	q2 := qtree.MustBind(src, db.Catalog)
+	if err := ApplyHeuristics(q2); err != nil {
+		t.Fatal(err)
+	}
+	// After heuristics both SPJ views merge anyway; verify the derived
+	// predicate reached proj's side before/without merging by disabling
+	// SPJ merge: run move-around alone to a fixpoint.
+	q3 := qtree.MustBind(src, db.Catalog)
+	ma := &PredicateMoveAround{}
+	for i := 0; i < 5; i++ {
+		if ch, err := ma.Apply(q3); err != nil {
+			t.Fatal(err)
+		} else if !ch {
+			break
+		}
+	}
+	v2 := q3.Root.From[1].View
+	found := false
+	for _, e := range v2.Where {
+		if bin, ok := e.(*qtree.Bin); ok && bin.Op == qtree.OpEq {
+			if refersToName(bin.L, "DEPT_ID") || refersToName(bin.R, "DEPT_ID") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("dept filter did not reach the sibling view: %s", q3.SQL())
+	}
+	if got := results(t, db, q3); !sameRows(want, got) {
+		t.Errorf("move-across changed semantics\nwant %v\ngot  %v", want, got)
+	}
+	if got := results(t, db, q2); !sameRows(want, got) {
+		t.Errorf("full heuristics changed semantics\nwant %v\ngot  %v", want, got)
+	}
+}
+
+func TestMoveAroundReachesFixpoint(t *testing.T) {
+	db := testkit.TinyDB()
+	src := `
+SELECT v.d FROM (SELECT e.dept_id d FROM emp e WHERE e.dept_id = 10) v`
+	q := qtree.MustBind(src, db.Catalog)
+	ma := &PredicateMoveAround{}
+	sizeBefore := -1
+	for i := 0; i < 6; i++ {
+		if _, err := ma.Apply(q); err != nil {
+			t.Fatal(err)
+		}
+		n := len(q.Root.From[0].View.Where)
+		if sizeBefore >= 0 && n > sizeBefore {
+			t.Fatalf("view predicate list grows without bound: %d -> %d", sizeBefore, n)
+		}
+		sizeBefore = n
+	}
+}

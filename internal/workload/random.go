@@ -1,0 +1,275 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// RandomQuery generates a pseudo-random query over the testkit schema by
+// growing a connected join subgraph and decorating it with filters,
+// subqueries, disjunctions, grouping and DISTINCT — all within the engine's
+// supported dialect. It drives the equivalence property tests: every
+// generated query must produce identical results under every optimizer
+// configuration.
+func RandomQuery(rng *rand.Rand, cfg Config) string {
+	g := &randGen{rng: rng, cfg: cfg}
+	return g.query()
+}
+
+// joinEdge is one foreign-key-ish equality in the schema's join graph.
+type joinEdge struct {
+	t1, c1, t2, c2 string
+}
+
+var schemaEdges = []joinEdge{
+	{"EMPLOYEES", "DEPT_ID", "DEPARTMENTS", "DEPT_ID"},
+	{"DEPARTMENTS", "LOC_ID", "LOCATIONS", "LOC_ID"},
+	{"EMPLOYEES", "EMP_ID", "JOB_HISTORY", "EMP_ID"},
+	{"EMPLOYEES", "JOB_ID", "JOBS", "JOB_ID"},
+	{"SALES", "EMP_ID", "EMPLOYEES", "EMP_ID"},
+	{"SALES", "DEPT_ID", "DEPARTMENTS", "DEPT_ID"},
+	{"JOB_HISTORY", "DEPT_ID", "DEPARTMENTS", "DEPT_ID"},
+}
+
+// selectable columns per table (non-null-heavy choices kept broad).
+var tableCols = map[string][]string{
+	"EMPLOYEES":   {"EMP_ID", "EMPLOYEE_NAME", "DEPT_ID", "SALARY", "JOB_ID"},
+	"DEPARTMENTS": {"DEPT_ID", "DEPARTMENT_NAME", "LOC_ID", "BUDGET"},
+	"LOCATIONS":   {"LOC_ID", "CITY", "COUNTRY_ID"},
+	"JOB_HISTORY": {"EMP_ID", "JOB_ID", "JOB_TITLE", "START_DATE", "DEPT_ID"},
+	"JOBS":        {"JOB_ID", "JOB_TITLE", "MIN_SALARY"},
+	"SALES":       {"SALE_ID", "EMP_ID", "DEPT_ID", "AMOUNT", "COUNTRY_ID"},
+}
+
+type boundTable struct {
+	table string
+	alias string
+}
+
+type randGen struct {
+	rng *rand.Rand
+	cfg Config
+
+	tables []boundTable
+	where  []string
+	nAlias int
+}
+
+func (g *randGen) alias(table string) string {
+	g.nAlias++
+	return fmt.Sprintf("t%d", g.nAlias)
+}
+
+func (g *randGen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+// addTable joins a new table into the graph (connected via an edge when
+// possible).
+func (g *randGen) addTable() {
+	if len(g.tables) == 0 {
+		names := []string{"EMPLOYEES", "DEPARTMENTS", "JOB_HISTORY", "SALES", "LOCATIONS", "JOBS"}
+		t := g.pick(names)
+		g.tables = append(g.tables, boundTable{table: t, alias: g.alias(t)})
+		return
+	}
+	// Collect edges touching the current tables.
+	type candidate struct {
+		edge    joinEdge
+		have    boundTable
+		haveCol string
+		newTab  string
+		newCol  string
+	}
+	var cands []candidate
+	for _, e := range schemaEdges {
+		for _, bt := range g.tables {
+			if bt.table == e.t1 {
+				cands = append(cands, candidate{edge: e, have: bt, haveCol: e.c1, newTab: e.t2, newCol: e.c2})
+			}
+			if bt.table == e.t2 {
+				cands = append(cands, candidate{edge: e, have: bt, haveCol: e.c2, newTab: e.t1, newCol: e.c1})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	c := cands[g.rng.Intn(len(cands))]
+	nb := boundTable{table: c.newTab, alias: g.alias(c.newTab)}
+	g.tables = append(g.tables, nb)
+	g.where = append(g.where, fmt.Sprintf("%s.%s = %s.%s", c.have.alias, c.haveCol, nb.alias, c.newCol))
+}
+
+// filterFor returns a random single-table filter.
+func (g *randGen) filterFor(bt boundTable) string {
+	a := bt.alias
+	switch bt.table {
+	case "EMPLOYEES":
+		switch g.rng.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%s.SALARY > %d", a, g.rng.Intn(9000)+500)
+		case 1:
+			return fmt.Sprintf("%s.DEPT_ID = %d", a, g.rng.Intn(max(g.cfg.Departments, 1))+1)
+		case 2:
+			lo := g.rng.Intn(max(g.cfg.Employees-40, 1)) + 1
+			return fmt.Sprintf("%s.EMP_ID BETWEEN %d AND %d", a, lo, lo+g.rng.Intn(60))
+		default:
+			return fmt.Sprintf("%s.EMPLOYEE_NAME LIKE 'emp_%d%%'", a, g.rng.Intn(10))
+		}
+	case "DEPARTMENTS":
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s.BUDGET > %d", a, g.rng.Intn(800000)+100000)
+		}
+		return fmt.Sprintf("%s.DEPT_ID IN (%d, %d, %d)", a,
+			g.rng.Intn(max(g.cfg.Departments, 1))+1,
+			g.rng.Intn(max(g.cfg.Departments, 1))+1,
+			g.rng.Intn(max(g.cfg.Departments, 1))+1)
+	case "LOCATIONS":
+		return fmt.Sprintf("%s.COUNTRY_ID = '%s'", a, countryLit(g.rng))
+	case "JOB_HISTORY":
+		return fmt.Sprintf("%s.START_DATE > '%04d0101'", a, 1995+g.rng.Intn(9))
+	case "JOBS":
+		return fmt.Sprintf("%s.MIN_SALARY < %d", a, g.rng.Intn(6000)+1500)
+	case "SALES":
+		if g.rng.Intn(2) == 0 {
+			return fmt.Sprintf("%s.AMOUNT > %d", a, g.rng.Intn(900)+50)
+		}
+		return fmt.Sprintf("%s.COUNTRY_ID = '%s'", a, countryLit(g.rng))
+	}
+	return fmt.Sprintf("%s.ROWID >= 0", a)
+}
+
+// subqueryFor attaches a random subquery predicate correlated (or not) to
+// one of the outer tables.
+func (g *randGen) subqueryFor() string {
+	outer := g.tables[g.rng.Intn(len(g.tables))]
+	// Pick an edge from the outer table for correlation.
+	var opts []joinEdge
+	for _, e := range schemaEdges {
+		if e.t1 == outer.table || e.t2 == outer.table {
+			opts = append(opts, e)
+		}
+	}
+	if len(opts) == 0 {
+		return ""
+	}
+	e := opts[g.rng.Intn(len(opts))]
+	subTab, subCol, outCol := e.t1, e.c1, e.c2
+	if e.t1 == outer.table {
+		subTab, subCol, outCol = e.t2, e.c2, e.c1
+	}
+	sa := "s" + fmt.Sprint(g.rng.Intn(1000))
+	subFilter := g.filterFor(boundTable{table: subTab, alias: sa})
+	switch g.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("EXISTS (SELECT 1 FROM %s %s WHERE %s.%s = %s.%s AND %s)",
+			subTab, sa, sa, subCol, outer.alias, outCol, subFilter)
+	case 1:
+		return fmt.Sprintf("NOT EXISTS (SELECT 1 FROM %s %s WHERE %s.%s = %s.%s AND %s)",
+			subTab, sa, sa, subCol, outer.alias, outCol, subFilter)
+	case 2:
+		return fmt.Sprintf("%s.%s IN (SELECT %s.%s FROM %s %s WHERE %s)",
+			outer.alias, outCol, sa, subCol, subTab, sa, subFilter)
+	case 3:
+		return fmt.Sprintf("%s.%s NOT IN (SELECT %s.%s FROM %s %s WHERE %s)",
+			outer.alias, outCol, sa, subCol, subTab, sa, subFilter)
+	default:
+		// Correlated scalar aggregate over a numeric column.
+		num := map[string]string{
+			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
+			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
+		}[subTab]
+		outNum := map[string]string{
+			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
+			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
+		}[outer.table]
+		return fmt.Sprintf("%s.%s > (SELECT AVG(%s.%s) FROM %s %s WHERE %s.%s = %s.%s)",
+			outer.alias, outNum, sa, num, subTab, sa, sa, subCol, outer.alias, outCol)
+	}
+}
+
+func (g *randGen) query() string {
+	g.tables = nil
+	g.where = nil
+	g.nAlias = 0
+
+	nTables := g.rng.Intn(3) + 1
+	for i := 0; i < nTables; i++ {
+		g.addTable()
+	}
+	// Filters.
+	nFilters := g.rng.Intn(3)
+	for i := 0; i < nFilters; i++ {
+		bt := g.tables[g.rng.Intn(len(g.tables))]
+		g.where = append(g.where, g.filterFor(bt))
+	}
+	// Subquery predicate.
+	if g.rng.Intn(2) == 0 {
+		if sq := g.subqueryFor(); sq != "" {
+			g.where = append(g.where, sq)
+		}
+	}
+	// Disjunction.
+	if g.rng.Intn(5) == 0 {
+		bt := g.tables[g.rng.Intn(len(g.tables))]
+		g.where = append(g.where, fmt.Sprintf("(%s OR %s)", g.filterFor(bt), g.filterFor(bt)))
+	}
+
+	grouped := g.rng.Intn(5) == 0
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if grouped {
+		bt := g.tables[0]
+		gcol := g.pick(tableCols[bt.table])
+		agg := g.pick([]string{"COUNT(*)", "SUM", "AVG", "MIN", "MAX"})
+		aggTab := g.tables[g.rng.Intn(len(g.tables))]
+		num := map[string]string{
+			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
+			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
+		}[aggTab.table]
+		if agg == "COUNT(*)" {
+			fmt.Fprintf(&sb, "%s.%s g0, COUNT(*) c0", bt.alias, gcol)
+		} else {
+			fmt.Fprintf(&sb, "%s.%s g0, %s(%s.%s) c0", bt.alias, gcol, agg, aggTab.alias, num)
+		}
+		sb.WriteString(g.fromWhere())
+		fmt.Fprintf(&sb, " GROUP BY %s.%s", bt.alias, gcol)
+		return sb.String()
+	}
+	if g.rng.Intn(6) == 0 {
+		sb.WriteString("DISTINCT ")
+	}
+	nCols := g.rng.Intn(2) + 1
+	for i := 0; i < nCols; i++ {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		bt := g.tables[g.rng.Intn(len(g.tables))]
+		fmt.Fprintf(&sb, "%s.%s c%d", bt.alias, g.pick(tableCols[bt.table]), i)
+	}
+	sb.WriteString(g.fromWhere())
+	return sb.String()
+}
+
+func (g *randGen) fromWhere() string {
+	var sb strings.Builder
+	sb.WriteString(" FROM ")
+	for i, bt := range g.tables {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%s %s", bt.table, bt.alias)
+	}
+	if len(g.where) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(g.where, " AND "))
+	}
+	return sb.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
