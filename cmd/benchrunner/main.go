@@ -5,13 +5,14 @@
 //
 // Usage:
 //
-//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2 [-n 12] [-repeats 3] [-seed 1] [-small]
+//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/bench"
@@ -20,12 +21,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par")
 	n := flag.Int("n", 12, "queries per workload class")
 	repeats := flag.Int("repeats", 3, "execution repetitions per query (min taken)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
+	parallel := flag.Int("parallel", 0, "CBQT state-evaluation workers for the figure experiments (0 = cbqt default)")
 	flag.Parse()
+	bench.Parallelism = *parallel
 
 	fmt.Println("building database...")
 	start := time.Now()
@@ -93,6 +96,18 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatTable2(rows))
+		return nil
+	})
+	run("par", func() error {
+		levels := []int{1, 2, 4}
+		if p := runtime.GOMAXPROCS(0); p > 4 {
+			levels = append(levels, p)
+		}
+		rows, err := bench.ParallelSearch(db, levels)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatParallelSearch(rows))
 		return nil
 	})
 }

@@ -35,6 +35,7 @@ func main() {
 	run := flag.Bool("run", true, "execute the plan and print rows")
 	maxRows := flag.Int("max-rows", 20, "maximum result rows to print")
 	trace := flag.Bool("trace", false, "print every transformation state evaluated with its cost")
+	parallel := flag.Int("parallel", 0, "state-evaluation workers: 0 = GOMAXPROCS, 1 = sequential search")
 	flag.Parse()
 
 	var db *storage.DB
@@ -50,6 +51,11 @@ func main() {
 
 	opts := cbqt.DefaultOptions()
 	opts.Trace = *trace
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "-parallel must be >= 0\n")
+		os.Exit(2)
+	}
+	opts.Parallelism = *parallel
 	switch *strategy {
 	case "auto":
 		opts.Strategy = cbqt.StrategyAuto

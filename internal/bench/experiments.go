@@ -29,7 +29,7 @@ func workloadConfig(seed int64, n int) workload.Config {
 // heuristicModeOptions turn every cost-based transformation into its
 // pre-CBQT heuristic decision (cost-based transformation "off", §4.1).
 func heuristicModeOptions() cbqt.Options {
-	opts := cbqt.DefaultOptions()
+	opts := defaultOptions()
 	opts.RuleModes = map[string]cbqt.RuleMode{}
 	for _, r := range transform.CostBasedRules() {
 		opts.RuleModes[r.Name()] = cbqt.RuleHeuristic
@@ -49,7 +49,7 @@ func Figure2(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	} {
 		qs = append(qs, workload.GenerateClass(int64(100+i), queriesPerClass, cfg, class)...)
 	}
-	ms, err := Compare(db, qs, heuristicModeOptions(), cbqt.DefaultOptions(), repeats)
+	ms, err := Compare(db, qs, heuristicModeOptions(), defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -67,12 +67,12 @@ func Figure3(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	} {
 		qs = append(qs, workload.GenerateClass(int64(200+i), queriesPerClass, cfg, class)...)
 	}
-	off := cbqt.DefaultOptions()
+	off := defaultOptions()
 	off.DisableMergeUnnest = true
 	off.RuleModes = map[string]cbqt.RuleMode{
 		(&transform.UnnestSubquery{}).Name(): cbqt.RuleOff,
 	}
-	ms, err := Compare(db, qs, off, cbqt.DefaultOptions(), repeats)
+	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -89,9 +89,9 @@ func Figure4(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	} {
 		qs = append(qs, workload.GenerateClass(int64(300+i), queriesPerClass, cfg, class)...)
 	}
-	off := cbqt.DefaultOptions()
+	off := defaultOptions()
 	off.Rules = rulesWithViewStrategy(&transform.ViewStrategy{NoJPPD: true})
-	ms, err := Compare(db, qs, off, cbqt.DefaultOptions(), repeats)
+	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -117,11 +117,11 @@ func rulesWithViewStrategy(vs *transform.ViewStrategy) []transform.Rule {
 func GroupByPlacementExp(db *storage.DB, queries int, repeats int) (Report, error) {
 	cfg := workloadConfig(45, 0)
 	qs := workload.GenerateClass(400, queries, cfg, workload.ClassGBP)
-	off := cbqt.DefaultOptions()
+	off := defaultOptions()
 	off.RuleModes = map[string]cbqt.RuleMode{
 		(&transform.GroupByPlacement{}).Name(): cbqt.RuleOff,
 	}
-	ms, err := Compare(db, qs, off, cbqt.DefaultOptions(), repeats)
+	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -186,8 +186,9 @@ func Table2(db *storage.DB) ([]Table2Row, error) {
 }
 
 func strategyUnnestOnly(s cbqt.Strategy) cbqt.Options {
-	opts := cbqt.DefaultOptions()
+	opts := defaultOptions()
 	opts.Strategy = s
+	opts.Parallelism = 1 // Table 2 compares the strategies' sequential optimization times
 	opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
 	// The imperative merge flavour would consume the single-table
 	// subqueries; Table 2 subqueries are all multi-table so the default
@@ -196,7 +197,7 @@ func strategyUnnestOnly(s cbqt.Strategy) cbqt.Options {
 }
 
 func heuristicUnnestOnly() cbqt.Options {
-	opts := cbqt.DefaultOptions()
+	opts := defaultOptions()
 	opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
 	opts.RuleModes = map[string]cbqt.RuleMode{
 		(&transform.UnnestSubquery{}).Name(): cbqt.RuleHeuristic,
@@ -239,10 +240,11 @@ func Table1(db *storage.DB) (Table1Result, error) {
 		if err != nil {
 			return cbqt.Stats{}, err
 		}
-		opts := cbqt.DefaultOptions()
+		opts := defaultOptions()
 		opts.Strategy = cbqt.StrategyExhaustive
 		opts.AnnotationReuse = reuse
 		opts.CostCutoff = false
+		opts.Parallelism = 1 // Table 1's exact hit accounting needs one worker
 		opts.SkipHeuristics = true
 		opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
 		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}

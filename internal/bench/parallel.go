@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// Parallelism, when positive, overrides cbqt.Options.Parallelism in every
+// optimizer configuration the figure experiments build (benchrunner's
+// -parallel flag). Zero keeps the cbqt default (GOMAXPROCS workers). The
+// Table 1 and Table 2 reproductions always run single-threaded: their
+// exact per-strategy accounting is the experiment.
+var Parallelism int
+
+// defaultOptions is cbqt.DefaultOptions with the benchmark-wide
+// parallelism override applied.
+func defaultOptions() cbqt.Options {
+	opts := cbqt.DefaultOptions()
+	if Parallelism > 0 {
+		opts.Parallelism = Parallelism
+	}
+	return opts
+}
+
+// ParallelRow is one line of the parallel-search speedup experiment: the
+// Table-2 exhaustive search run at one worker count.
+type ParallelRow struct {
+	Workers int
+	OptTime time.Duration
+	States  int
+	Cost    float64
+	// Speedup is wall-clock relative to the Workers=1 row.
+	Speedup float64
+}
+
+// ParallelSearch runs the Table-2 query's exhaustive search at each worker
+// count and verifies that every level chooses the identical transformed
+// query and final plan cost — the determinism guarantee of the parallel
+// engine, measured on the same workload the speedup is claimed for.
+func ParallelSearch(db *storage.DB, levels []int) ([]ParallelRow, error) {
+	var out []ParallelRow
+	var baseSQL string
+	var baseCost float64
+	var baseTime time.Duration
+	for i, p := range levels {
+		q, err := qtree.BindSQL(Table2Query, db.Catalog)
+		if err != nil {
+			return nil, err
+		}
+		opts := strategyUnnestOnly(cbqt.StrategyExhaustive)
+		opts.Parallelism = p
+		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+		start := time.Now()
+		res, err := o.Optimize(q)
+		if err != nil {
+			return nil, fmt.Errorf("parallelism %d: %w", p, err)
+		}
+		d := time.Since(start)
+		sql, cost := res.Query.SQL(), res.Plan.Cost.Total
+		if i == 0 {
+			baseSQL, baseCost, baseTime = sql, cost, d
+		} else {
+			if sql != baseSQL {
+				return nil, fmt.Errorf("parallelism %d chose a different query than %d:\n%s\nvs\n%s",
+					p, levels[0], sql, baseSQL)
+			}
+			if cost != baseCost {
+				return nil, fmt.Errorf("parallelism %d plan cost %v != %v at parallelism %d",
+					p, cost, baseCost, levels[0])
+			}
+		}
+		row := ParallelRow{Workers: p, OptTime: d, States: res.Stats.StatesEvaluated, Cost: cost}
+		if d > 0 {
+			row.Speedup = baseTime.Seconds() / d.Seconds()
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatParallelSearch renders the speedup experiment.
+func FormatParallelSearch(rows []ParallelRow) string {
+	var sb strings.Builder
+	sb.WriteString("=== Parallel state-space search: Table-2 exhaustive ===\n")
+	fmt.Fprintf(&sb, "%-8s %12s %8s %10s %8s\n", "Workers", "Optim. Time", "#States", "Plan Cost", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-8d %12s %8d %10.1f %7.2fx\n",
+			r.Workers, r.OptTime.Round(10*time.Microsecond), r.States, r.Cost, r.Speedup)
+	}
+	return sb.String()
+}

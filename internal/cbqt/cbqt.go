@@ -85,8 +85,22 @@ type Options struct {
 	// IterativeRestarts and IterativeMaxStates bound iterative improvement.
 	IterativeRestarts  int
 	IterativeMaxStates int
+	// Parallelism bounds the worker goroutines that evaluate
+	// transformation states concurrently. Each state is costed on an
+	// independent deep copy of the query, so the Exhaustive, Linear and
+	// Two-Pass searches fan their states out to a pool of this many
+	// workers (Iterative stays sequential: every step depends on the
+	// previous best). 0 selects runtime.GOMAXPROCS(0); 1 evaluates states
+	// sequentially, preserving the single-threaded search exactly. The
+	// chosen state, its cost and the final plan are identical at every
+	// parallelism level: the winner is the minimum-cost state with ties
+	// broken by the state's position in the canonical enumeration order
+	// (its mixed-radix key), never by completion order.
+	Parallelism int
 	// CostCutoff enables abandoning states whose cost exceeds the best
-	// found so far (§3.4.1).
+	// found so far (§3.4.1). Under parallel evaluation the best-cost bound
+	// is shared across workers through an atomic; workers may observe a
+	// stale (higher) bound, which only reduces pruning, never correctness.
 	CostCutoff bool
 	// AnnotationReuse enables reuse of query sub-tree cost annotations
 	// across states (§3.4.2).
@@ -117,6 +131,7 @@ func DefaultOptions() Options {
 		TwoPassThreshold:    10,
 		IterativeRestarts:   3,
 		IterativeMaxStates:  24,
+		Parallelism:         0, // runtime.GOMAXPROCS(0) workers
 		CostCutoff:          true,
 		AnnotationReuse:     true,
 		Seed:                1,

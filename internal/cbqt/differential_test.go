@@ -1,0 +1,62 @@
+package cbqt
+
+import (
+	"testing"
+
+	"repro/internal/testkit"
+	"repro/internal/transform"
+	"repro/internal/workload"
+)
+
+// TestDifferentialOracle is the safety net for the parallel search engine:
+// a seeded sample of generated workload queries is optimized three ways —
+// cost-based transformation disabled entirely, sequential CBQT, and
+// parallel CBQT — each chosen plan is executed, and all three must return
+// identical (sorted) result rows. Any transformation, search or
+// concurrency bug that changes query semantics surfaces here as a row
+// diff on real data.
+func TestDifferentialOracle(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	s := testkit.SmallSizes()
+	cfg := workload.DefaultConfig(11, 120, s.Employees, s.Departments, s.Jobs)
+	// The paper's 8% relevant fraction would leave most samples as plain
+	// SPJ; bias the oracle towards queries CBQT actually transforms.
+	cfg.RelevantFraction = 0.7
+	queries := workload.Generate(cfg)
+	if len(queries) < 100 {
+		t.Fatalf("generated only %d queries, want >= 100", len(queries))
+	}
+
+	disabled := DefaultOptions()
+	disabled.RuleModes = map[string]RuleMode{}
+	for _, r := range transform.CostBasedRules() {
+		disabled.RuleModes[r.Name()] = RuleOff
+	}
+	disabled.Parallelism = 1
+
+	sequential := DefaultOptions()
+	sequential.Parallelism = 1
+
+	parallel := DefaultOptions()
+	parallel.Parallelism = 8
+
+	for _, wq := range queries {
+		off, _ := runCBQT(t, db, wq.SQL, disabled)
+		seq, resSeq := runCBQT(t, db, wq.SQL, sequential)
+		par, resPar := runCBQT(t, db, wq.SQL, parallel)
+		if !equalStrs(seq, off) {
+			t.Errorf("query %d (%s): sequential CBQT changed results (%d rows vs %d)\nsql: %s\ntransformed: %s",
+				wq.ID, wq.Class, len(seq), len(off), wq.SQL, resSeq.Query.SQL())
+		}
+		if !equalStrs(par, off) {
+			t.Errorf("query %d (%s): parallel CBQT changed results (%d rows vs %d)\nsql: %s\ntransformed: %s",
+				wq.ID, wq.Class, len(par), len(off), wq.SQL, resPar.Query.SQL())
+		}
+		// Parallel and sequential CBQT must also agree on the chosen
+		// transformed query itself, not just its results.
+		if got, want := resPar.Query.SQL(), resSeq.Query.SQL(); got != want {
+			t.Errorf("query %d (%s): parallel chose a different transformed query\nsql: %s\nparallel:   %s\nsequential: %s",
+				wq.ID, wq.Class, wq.SQL, got, want)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package cbqt
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/transform"
+)
+
+// The parallel state-evaluation engine. Every transformation state is
+// costed on an independent deep copy of the query (§3.1), which makes the
+// state-space searches embarrassingly parallel: the Exhaustive, Linear and
+// Two-Pass strategies fan their states out to a bounded worker pool. Three
+// pieces of shared state make this safe and deterministic:
+//
+//   - the §3.4.2 annotation cache is sharded with a mutex per shard
+//     (optimizer.CostCache);
+//   - the §3.4.1 cost cut-off propagates through an atomic best-cost bound
+//     (bestBound) that workers read before each evaluation — a stale bound
+//     only weakens pruning, never correctness, because the cut-off abandons
+//     only states whose partial cost already exceeds a fully evaluated
+//     state's cost;
+//   - per-worker Stats counters and trace buffers are merged in state
+//     enumeration order, and the winner is the minimum-cost state with
+//     ties broken by enumeration order (the state's mixed-radix key),
+//     never by completion order — so the chosen state, its cost and the
+//     final plan are bit-for-bit identical at every parallelism level.
+
+// parallelism resolves Options.Parallelism to a concrete worker count.
+func (o *Optimizer) parallelism() int {
+	if p := o.Opts.Parallelism; p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// bestBound is the atomic, monotonically decreasing best-cost bound shared
+// by workers (§3.4.1). The float is stored as its IEEE-754 bit pattern;
+// all participating values are non-negative costs or +Inf, for which the
+// float ordering matches and CompareAndSwap is well defined.
+type bestBound struct{ bits atomic.Uint64 }
+
+func newBestBound(v float64) *bestBound {
+	b := &bestBound{}
+	b.bits.Store(math.Float64bits(v))
+	return b
+}
+
+func (b *bestBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
+
+// lower reduces the bound to c when c is smaller.
+func (b *bestBound) lower(c float64) {
+	for {
+		old := b.bits.Load()
+		if c >= math.Float64frombits(old) {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(c)) {
+			return
+		}
+	}
+}
+
+// stateEvalResult is one state's outcome from a parallel batch.
+type stateEvalResult struct {
+	cost  float64
+	err   error
+	stats Stats
+}
+
+// evalBatch evaluates the given states concurrently on up to par workers
+// and returns the per-state results in input order. Each worker records
+// its counters and trace into the result slot's private Stats, so no two
+// goroutines share a Stats value. bound seeds and propagates the cost
+// cut-off; it is lowered with every feasible state cost so later
+// evaluations prune against the best cost known so far.
+func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, cache *optimizer.CostCache, bound *bestBound, par int) []stateEvalResult {
+	results := make([]stateEvalResult, len(states))
+	if par > len(states) {
+		par = len(states)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(states) {
+					return
+				}
+				res := &results[i]
+				res.cost, res.err = o.evalState(q, r, states[i], cache, bound.get(), &res.stats)
+				if res.err == nil {
+					bound.lower(res.cost)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// mergeBatch folds the per-state results into stats in state enumeration
+// order and selects the winner: the minimum-cost feasible state, ties
+// broken by the smaller enumeration index. It returns the winner's index
+// (-1 when no state was costed below +Inf), its cost, the number of states
+// successfully costed, and the first (by enumeration order) non-infeasible
+// error.
+func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost float64, count int, err error) {
+	bestIdx, bestCost = -1, math.Inf(1)
+	for i := range results {
+		res := &results[i]
+		stats.BlocksOptimized += res.stats.BlocksOptimized
+		stats.AnnotationHits += res.stats.AnnotationHits
+		stats.Trace = append(stats.Trace, res.stats.Trace...)
+		if res.err != nil {
+			if !errors.Is(res.err, errInfeasible) && err == nil {
+				err = res.err
+			}
+			continue
+		}
+		count++
+		if res.cost < bestCost {
+			bestCost, bestIdx = res.cost, i
+		}
+	}
+	return bestIdx, bestCost, count, err
+}
+
+// enumerateStates lists every state of the mixed-radix space in canonical
+// enumeration order — digit 0 least significant, exactly the order the
+// sequential exhaustive counter visits.
+func enumerateStates(variants []int) []state {
+	n := len(variants)
+	total := 1
+	for _, v := range variants {
+		total *= v + 1
+	}
+	out := make([]state, 0, total)
+	cur := make(state, n)
+	for {
+		out = append(out, cur.clone())
+		i := 0
+		for i < n {
+			cur[i]++
+			if cur[i] <= variants[i] {
+				break
+			}
+			cur[i] = 0
+			i++
+		}
+		if i == n {
+			return out
+		}
+	}
+}
+
+// searchExhaustiveParallel is searchExhaustive with the whole state space
+// fanned out to the worker pool at once.
+func (o *Optimizer) searchExhaustiveParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+	states := enumerateStates(variants)
+	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), par)
+	bestIdx, _, count, err := mergeBatch(results, stats)
+	if err != nil {
+		return nil, count, err
+	}
+	if bestIdx < 0 {
+		// Everything infeasible or abandoned: keep the untransformed state,
+		// as the sequential search does.
+		return make(state, len(variants)), count, nil
+	}
+	return states[bestIdx], count, nil
+}
+
+// searchLinearParallel runs the §3.2 linear search with the variants of
+// each object evaluated concurrently. The per-object decisions remain
+// sequential (each fixes the context of the next), matching the sequential
+// search: object i keeps variant v only if it lowers the best cost, ties
+// going to the smaller v.
+func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+	n := len(variants)
+	cur := make(state, n)
+	bestCost, err := o.evalState(q, r, cur, cache, 0, stats)
+	if err != nil {
+		return nil, 1, err
+	}
+	count := 1
+	for i := 0; i < n; i++ {
+		trials := make([]state, 0, variants[i])
+		for v := 1; v <= variants[i]; v++ {
+			trial := cur.clone()
+			trial[i] = v
+			trials = append(trials, trial)
+		}
+		if len(trials) == 0 {
+			continue
+		}
+		results := o.evalBatch(q, r, trials, cache, newBestBound(bestCost), par)
+		bestIdx, cost, batchCount, err := mergeBatch(results, stats)
+		count += batchCount
+		if err != nil {
+			return nil, count, err
+		}
+		if bestIdx >= 0 && cost < bestCost {
+			bestCost = cost
+			cur[i] = bestIdx + 1
+		}
+	}
+	return cur, count, nil
+}
+
+// searchTwoPassParallel evaluates the all-untransformed and all-transformed
+// states (§3.2) concurrently. Sequentially the zero state's cost seeds the
+// cut-off for the transformed state; in parallel both start unbounded and
+// whichever finishes first bounds the other — the comparison is unchanged.
+func (o *Optimizer) searchTwoPassParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+	n := len(variants)
+	zero := make(state, n)
+	all := make(state, n)
+	for i := range all {
+		all[i] = 1 // first variant of every object
+	}
+	results := o.evalBatch(q, r, []state{zero, all}, cache, newBestBound(math.Inf(1)), par)
+	bestIdx, _, count, err := mergeBatch(results, stats)
+	if results[0].err != nil {
+		// The untransformed state must be costable; mirror the sequential
+		// search and fail (even an infeasible zero state is a driver bug).
+		return nil, count, results[0].err
+	}
+	if err != nil {
+		return nil, count, err
+	}
+	if bestIdx == 1 {
+		return all, count, nil
+	}
+	return zero, count, nil
+}

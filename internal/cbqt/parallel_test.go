@@ -1,0 +1,168 @@
+package cbqt
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+	"repro/internal/transform"
+)
+
+func TestBestBound(t *testing.T) {
+	b := newBestBound(math.Inf(1))
+	if !math.IsInf(b.get(), 1) {
+		t.Fatalf("initial bound = %v", b.get())
+	}
+	b.lower(10)
+	b.lower(20) // higher: ignored
+	if b.get() != 10 {
+		t.Errorf("bound = %v, want 10", b.get())
+	}
+	b.lower(5)
+	if b.get() != 5 {
+		t.Errorf("bound = %v, want 5", b.get())
+	}
+}
+
+func TestEnumerateStatesMatchesSequentialOrder(t *testing.T) {
+	states := enumerateStates([]int{1, 2})
+	want := []string{"00", "10", "01", "11", "02", "12"}
+	if len(states) != len(want) {
+		t.Fatalf("enumerated %d states, want %d", len(states), len(want))
+	}
+	for i, s := range states {
+		if stateKey(s) != want[i] {
+			t.Errorf("state %d = %s, want %s", i, stateKey(s), want[i])
+		}
+	}
+}
+
+// determinismQueries cover the transformations with non-trivial state
+// spaces; byte-identical outcomes are required for each at every
+// parallelism level.
+var determinismQueries = []string{
+	table1SQL,
+	testQueries[0], // Q1-style correlated aggregate + IN
+	testQueries[3], // group-by view join
+	testQueries[9], // union-all factorization candidate
+}
+
+// TestParallelDeterminism runs every strategy at parallelism 1, 2 and 8,
+// twice each, and requires the chosen transformed query, the final plan
+// cost, and the rendered EXPLAIN to be byte-identical across all runs and
+// levels: the winner must depend only on the state space, never on worker
+// scheduling.
+func TestParallelDeterminism(t *testing.T) {
+	db := testkit.TinyDB()
+	for qi, src := range determinismQueries {
+		for _, strat := range []Strategy{StrategyExhaustive, StrategyLinear, StrategyTwoPass, StrategyIterative} {
+			var baseSQL, baseExplain string
+			var baseCost float64
+			first := true
+			for _, par := range []int{1, 2, 8} {
+				for run := 0; run < 2; run++ {
+					opts := DefaultOptions()
+					opts.Strategy = strat
+					opts.Parallelism = par
+					q := qtree.MustBind(src, db.Catalog)
+					o := &Optimizer{Cat: db.Catalog, Opts: opts}
+					res, err := o.Optimize(q)
+					if err != nil {
+						t.Fatalf("query %d strategy %v parallelism %d: %v", qi, strat, par, err)
+					}
+					sql := res.Query.SQL()
+					cost := res.Plan.Cost.Total
+					explain := optimizer.Explain(res.Plan)
+					if first {
+						baseSQL, baseCost, baseExplain = sql, cost, explain
+						first = false
+						continue
+					}
+					if sql != baseSQL {
+						t.Errorf("query %d strategy %v parallelism %d run %d chose a different query:\n%s\nvs\n%s",
+							qi, strat, par, run, sql, baseSQL)
+					}
+					if cost != baseCost {
+						t.Errorf("query %d strategy %v parallelism %d run %d: cost %v != %v",
+							qi, strat, par, run, cost, baseCost)
+					}
+					if explain != baseExplain {
+						t.Errorf("query %d strategy %v parallelism %d run %d: EXPLAIN diverged:\n%s\nvs\n%s",
+							qi, strat, par, run, explain, baseExplain)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSequentialStats verifies the deterministic portions of
+// Stats match between sequential and parallel evaluation: the number of
+// states costed is scheduling-independent (only the hit/miss split and the
+// pruning depth may move).
+func TestParallelMatchesSequentialStats(t *testing.T) {
+	db := testkit.TinyDB()
+	for _, strat := range []Strategy{StrategyExhaustive, StrategyLinear, StrategyTwoPass} {
+		counts := map[int]int{}
+		for _, par := range []int{1, 4} {
+			q := qtree.MustBind(table1SQL, db.Catalog)
+			opts := DefaultOptions()
+			opts.Strategy = strat
+			opts.Parallelism = par
+			opts.SkipHeuristics = true
+			opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
+			o := &Optimizer{Cat: db.Catalog, Opts: opts}
+			res, err := o.Optimize(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts[par] = res.Stats.StatesEvaluated
+		}
+		if counts[1] != counts[4] {
+			t.Errorf("%v: states evaluated differ: P=1 %d vs P=4 %d", strat, counts[1], counts[4])
+		}
+	}
+}
+
+// TestParallelTraceCoversAllStates checks the merged trace is complete and
+// in enumeration order under parallel exhaustive search.
+func TestParallelTraceCoversAllStates(t *testing.T) {
+	db := testkit.TinyDB()
+	q := qtree.MustBind(table1SQL, db.Catalog)
+	opts := DefaultOptions()
+	opts.Strategy = StrategyExhaustive
+	opts.Parallelism = 4
+	opts.CostCutoff = false
+	opts.SkipHeuristics = true
+	opts.Trace = true
+	opts.Rules = []transform.Rule{&transform.UnnestSubquery{}}
+	o := &Optimizer{Cat: db.Catalog, Opts: opts}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"00", "10", "01", "11"}
+	if len(res.Stats.Trace) != len(want) {
+		t.Fatalf("trace has %d entries, want %d: %+v", len(res.Stats.Trace), len(want), res.Stats.Trace)
+	}
+	for i, ev := range res.Stats.Trace {
+		if ev.State != want[i] {
+			t.Errorf("trace[%d].State = %s, want %s (merge must follow enumeration order)", i, ev.State, want[i])
+		}
+	}
+}
+
+func TestParallelismResolution(t *testing.T) {
+	o := New(nil)
+	o.Opts.Parallelism = 0
+	if got := o.parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("parallelism(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	o.Opts.Parallelism = 3
+	if got := o.parallelism(); got != 3 {
+		t.Errorf("parallelism(3) = %d", got)
+	}
+}

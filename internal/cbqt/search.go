@@ -58,15 +58,33 @@ func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strate
 	for i := 0; i < n; i++ {
 		variants[i] = r.Variants(q, i)
 	}
+	// Parallelism 1 runs the original single-threaded searches; the
+	// parallel engine (parallel.go) selects the same state at any worker
+	// count, so the split is purely an execution choice.
+	par := o.parallelism()
 	switch strat {
 	case StrategyExhaustive:
+		if par > 1 {
+			return o.searchExhaustiveParallel(q, r, variants, cache, stats, par)
+		}
 		return o.searchExhaustive(q, r, variants, cache, stats)
 	case StrategyLinear:
+		if par > 1 {
+			return o.searchLinearParallel(q, r, variants, cache, stats, par)
+		}
 		return o.searchLinear(q, r, variants, cache, stats)
 	case StrategyTwoPass:
+		if par > 1 {
+			return o.searchTwoPassParallel(q, r, variants, cache, stats, par)
+		}
 		return o.searchTwoPass(q, r, variants, cache, stats)
 	case StrategyIterative:
+		// Each hill-climbing step depends on the previous best state;
+		// iterative improvement stays sequential at every parallelism.
 		return o.searchIterative(q, r, variants, cache, stats)
+	}
+	if par > 1 {
+		return o.searchExhaustiveParallel(q, r, variants, cache, stats, par)
 	}
 	return o.searchExhaustive(q, r, variants, cache, stats)
 }

@@ -1,0 +1,81 @@
+package optimizer
+
+import "sync"
+
+// cacheShardCount is the number of independently locked shards of the
+// annotation cache. A power of two so the hash maps to a shard with a mask.
+// 32 shards keep lock contention negligible for any realistic worker count
+// (the CBQT driver bounds workers by GOMAXPROCS).
+const cacheShardCount = 32
+
+// CostCache is the cost-annotation store shared across transformation
+// states: canonical block rendering → cost annotation. Annotations are
+// reused only in cost-only mode, because plan nodes are tied to a specific
+// query copy's from IDs.
+//
+// The cache is safe for concurrent use: the CBQT driver evaluates
+// transformation states on a bounded worker pool, and every worker's
+// planner consults the same cache. The key space is sharded by key hash
+// with one mutex per shard. Concurrent misses on the same key may both
+// optimize the block and both store the annotation; both store the same
+// value (annotations are a deterministic function of the canonical key), so
+// the duplication costs work, never correctness.
+type CostCache struct {
+	shards [cacheShardCount]cacheShard
+}
+
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[string]costAnnotation
+}
+
+type costAnnotation struct {
+	cost Cost
+	ndvs []float64
+}
+
+// NewCostCache creates an empty annotation cache.
+func NewCostCache() *CostCache {
+	c := &CostCache{}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]costAnnotation{}
+	}
+	return c
+}
+
+// shard selects the shard for a key (FNV-1a over the key bytes).
+func (c *CostCache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h&(cacheShardCount-1)]
+}
+
+func (c *CostCache) get(key string) (costAnnotation, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	ann, ok := s.entries[key]
+	s.mu.RUnlock()
+	return ann, ok
+}
+
+func (c *CostCache) put(key string, ann costAnnotation) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.entries[key] = ann
+	s.mu.Unlock()
+}
+
+// Len reports the number of cached annotations.
+func (c *CostCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.entries)
+		s.mu.RUnlock()
+	}
+	return n
+}

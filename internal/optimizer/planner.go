@@ -23,27 +23,6 @@ type Counters struct {
 	CacheHits int
 }
 
-// CostCache is the cost-annotation store shared across transformation
-// states: canonical block rendering → cost annotation. Annotations are
-// reused only in cost-only mode, because plan nodes are tied to a specific
-// query copy's from IDs.
-type CostCache struct {
-	entries map[string]costAnnotation
-}
-
-type costAnnotation struct {
-	cost Cost
-	ndvs []float64
-}
-
-// NewCostCache creates an empty annotation cache.
-func NewCostCache() *CostCache {
-	return &CostCache{entries: map[string]costAnnotation{}}
-}
-
-// Len reports the number of cached annotations.
-func (c *CostCache) Len() int { return len(c.entries) }
-
 // Planner is the physical optimizer.
 type Planner struct {
 	Cat *catalog.Catalog
@@ -106,7 +85,7 @@ func (p *Planner) planBlock(q *qtree.Query, b *qtree.Block, outFrom qtree.FromID
 	var key string
 	if p.Cache != nil && p.CostOnly {
 		key = q.CanonicalKey(b)
-		if ann, ok := p.Cache.entries[key]; ok {
+		if ann, ok := p.Cache.get(key); ok {
 			p.Counters.CacheHits++
 			stub := &cachedStub{}
 			stub.cols = outputCols(outFrom, len(b.OutCols()))
@@ -120,7 +99,7 @@ func (p *Planner) planBlock(q *qtree.Query, b *qtree.Block, outFrom qtree.FromID
 	}
 	p.Counters.BlocksOptimized++
 	if key != "" {
-		p.Cache.entries[key] = costAnnotation{cost: node.Cost(), ndvs: info.ndvs}
+		p.Cache.put(key, costAnnotation{cost: node.Cost(), ndvs: info.ndvs})
 	}
 	return node, info, nil
 }

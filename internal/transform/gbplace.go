@@ -206,6 +206,10 @@ func pushGroupBy(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) error {
 	}
 
 	// Partial aggregates, and the outer compensation expression per spec.
+	// The outer Col references must carry the view column's actual alias:
+	// expression identity downstream (aggregate dedup, equivalence checks)
+	// is keyed on the rendered form, so two references with a shared
+	// placeholder name would collapse into one aggregate.
 	outerExpr := make([]qtree.Expr, len(specs))
 	fvID := q.NewFromID()
 	addPartial := func(a *qtree.Agg, alias string) int {
@@ -216,23 +220,27 @@ func pushGroupBy(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) error {
 	for i, a := range specs {
 		switch a.Op {
 		case qtree.AggSum, qtree.AggMin, qtree.AggMax:
-			ord := addPartial(&qtree.Agg{Op: a.Op, Arg: a.Arg}, fmt.Sprintf("P%d", i))
-			outerExpr[i] = &qtree.Agg{Op: compensate(a.Op), Arg: &qtree.Col{From: fvID, Ord: ord, Name: "P"}}
+			alias := fmt.Sprintf("P%d", i)
+			ord := addPartial(&qtree.Agg{Op: a.Op, Arg: a.Arg}, alias)
+			outerExpr[i] = &qtree.Agg{Op: compensate(a.Op), Arg: &qtree.Col{From: fvID, Ord: ord, Name: alias}}
 		case qtree.AggCount:
+			alias := fmt.Sprintf("P%d", i)
 			var ord int
 			if a.Star {
-				ord = addPartial(&qtree.Agg{Op: qtree.AggCount, Star: true}, fmt.Sprintf("P%d", i))
+				ord = addPartial(&qtree.Agg{Op: qtree.AggCount, Star: true}, alias)
 			} else {
-				ord = addPartial(&qtree.Agg{Op: qtree.AggCount, Arg: a.Arg}, fmt.Sprintf("P%d", i))
+				ord = addPartial(&qtree.Agg{Op: qtree.AggCount, Arg: a.Arg}, alias)
 			}
-			outerExpr[i] = &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: ord, Name: "P"}}
+			outerExpr[i] = &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: ord, Name: alias}}
 		case qtree.AggAvg:
-			sumOrd := addPartial(&qtree.Agg{Op: qtree.AggSum, Arg: a.Arg}, fmt.Sprintf("P%dS", i))
-			cntOrd := addPartial(&qtree.Agg{Op: qtree.AggCount, Arg: cloneExpr(q, a.Arg)}, fmt.Sprintf("P%dC", i))
+			sumAlias := fmt.Sprintf("P%dS", i)
+			cntAlias := fmt.Sprintf("P%dC", i)
+			sumOrd := addPartial(&qtree.Agg{Op: qtree.AggSum, Arg: a.Arg}, sumAlias)
+			cntOrd := addPartial(&qtree.Agg{Op: qtree.AggCount, Arg: cloneExpr(q, a.Arg)}, cntAlias)
 			outerExpr[i] = &qtree.Bin{
 				Op: qtree.OpDiv,
-				L:  &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: sumOrd, Name: "PS"}},
-				R:  &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: cntOrd, Name: "PC"}},
+				L:  &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: sumOrd, Name: sumAlias}},
+				R:  &qtree.Agg{Op: qtree.AggSum, Arg: &qtree.Col{From: fvID, Ord: cntOrd, Name: cntAlias}},
 			}
 		}
 	}
