@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -40,7 +41,7 @@ func sharedDB() *storage.DB {
 func BenchmarkFigure2CBQT(b *testing.B) {
 	db := sharedDB()
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure2(db, 4, 2)
+		r, err := bench.Figure2(context.Background(), db, 4, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,7 +56,7 @@ func BenchmarkFigure2CBQT(b *testing.B) {
 func BenchmarkFigure3Unnesting(b *testing.B) {
 	db := sharedDB()
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure3(db, 4, 2)
+		r, err := bench.Figure3(context.Background(), db, 4, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +71,7 @@ func BenchmarkFigure3Unnesting(b *testing.B) {
 func BenchmarkFigure4JPPD(b *testing.B) {
 	db := sharedDB()
 	for i := 0; i < b.N; i++ {
-		r, err := bench.Figure4(db, 4, 2)
+		r, err := bench.Figure4(context.Background(), db, 4, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -85,7 +86,7 @@ func BenchmarkFigure4JPPD(b *testing.B) {
 func BenchmarkGroupByPlacement(b *testing.B) {
 	db := sharedDB()
 	for i := 0; i < b.N; i++ {
-		r, err := bench.GroupByPlacementExp(db, 6, 2)
+		r, err := bench.GroupByPlacementExp(context.Background(), db, 6, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,13 +234,13 @@ func BenchmarkParallelSearch(b *testing.B) {
 func BenchmarkSmallDBEndToEnd(b *testing.B) {
 	db := testkit.NewDB(testkit.SmallSizes(), 7)
 	for i := 0; i < b.N; i++ {
-		if _, err := bench.Figure2(db, 2, 1); err != nil {
+		if _, err := bench.Figure2(context.Background(), db, 2, 1); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := bench.Figure3(db, 2, 1); err != nil {
+		if _, err := bench.Figure3(context.Background(), db, 2, 1); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := bench.Figure4(db, 2, 1); err != nil {
+		if _, err := bench.Figure4(context.Background(), db, 2, 1); err != nil {
 			b.Fatal(err)
 		}
 	}

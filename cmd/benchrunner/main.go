@@ -9,13 +9,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cbqt"
 	"repro/internal/storage"
 	"repro/internal/testkit"
 )
@@ -27,8 +30,15 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generation seed")
 	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
 	parallel := flag.Int("parallel", 0, "CBQT state-evaluation workers for the figure experiments (0 = cbqt default)")
+	timeout := flag.Duration("timeout", 0, "per-query optimization deadline for the figure experiments (0 = none)")
 	flag.Parse()
 	bench.Parallelism = *parallel
+	bench.Budget = cbqt.Budget{Timeout: *timeout}
+
+	// Interrupt cancels the running experiment: searches degrade to their
+	// best plan so far and the next query execution aborts.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	fmt.Println("building database...")
 	start := time.Now()
@@ -51,7 +61,7 @@ func main() {
 	}
 
 	run("fig2", func() error {
-		r, err := bench.Figure2(db, *n, *repeats)
+		r, err := bench.Figure2(ctx, db, *n, *repeats)
 		if err != nil {
 			return err
 		}
@@ -59,7 +69,7 @@ func main() {
 		return nil
 	})
 	run("fig3", func() error {
-		r, err := bench.Figure3(db, *n, *repeats)
+		r, err := bench.Figure3(ctx, db, *n, *repeats)
 		if err != nil {
 			return err
 		}
@@ -67,7 +77,7 @@ func main() {
 		return nil
 	})
 	run("fig4", func() error {
-		r, err := bench.Figure4(db, *n, *repeats)
+		r, err := bench.Figure4(ctx, db, *n, *repeats)
 		if err != nil {
 			return err
 		}
@@ -75,7 +85,7 @@ func main() {
 		return nil
 	})
 	run("gbp", func() error {
-		r, err := bench.GroupByPlacementExp(db, *n, *repeats)
+		r, err := bench.GroupByPlacementExp(ctx, db, *n, *repeats)
 		if err != nil {
 			return err
 		}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/cbqt"
 	"repro/internal/exec"
+	"repro/internal/faultinject"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/storage"
@@ -36,6 +37,10 @@ func main() {
 	maxRows := flag.Int("max-rows", 20, "maximum result rows to print")
 	trace := flag.Bool("trace", false, "print every transformation state evaluated with its cost")
 	parallel := flag.Int("parallel", 0, "state-evaluation workers: 0 = GOMAXPROCS, 1 = sequential search")
+	timeout := flag.Duration("timeout", 0, "per-query optimization deadline (0 = none); on expiry the best plan found so far is kept")
+	maxStates := flag.Int("max-states", 0, "cap on transformation states evaluated per query (0 = unlimited)")
+	maxMem := flag.Int64("max-mem", 0, "approximate memory budget in bytes for copied trees and the cost cache (0 = unlimited)")
+	faults := flag.String("faults", "", "comma-separated fault injections, e.g. 'panic@apply:GBP,error@state:Unnest#3,delay(2ms)@state:*'")
 	flag.Parse()
 
 	var db *storage.DB
@@ -56,6 +61,15 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Parallelism = *parallel
+	opts.Budget = cbqt.Budget{Timeout: *timeout, MaxStates: *maxStates, MaxMemBytes: *maxMem}
+	if *faults != "" {
+		fs, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad -faults: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Faults = fs
+	}
 	switch *strategy {
 	case "auto":
 		opts.Strategy = cbqt.StrategyAuto
@@ -132,6 +146,19 @@ func runQuery(db *storage.DB, sql string, opts cbqt.Options, execute bool, maxRo
 	fmt.Printf("\n-- transformed (%s, %d states, %d blocks, %d annotation hits) --\n",
 		time.Since(start).Round(10*time.Microsecond),
 		res.Stats.StatesEvaluated, res.Stats.BlocksOptimized, res.Stats.AnnotationHits)
+	if res.Stats.CacheHits+res.Stats.CacheMisses > 0 {
+		fmt.Printf("-- cost cache: %d hits, %d misses, %d evictions --\n",
+			res.Stats.CacheHits, res.Stats.CacheMisses, res.Stats.CacheEvictions)
+	}
+	if res.Stats.Degraded != cbqt.DegradeNone {
+		fmt.Printf("-- degraded: %s (best plan found within budget) --\n", res.Stats.Degraded)
+	}
+	for _, te := range res.Stats.TransformErrors {
+		fmt.Printf("-- transformation fault: %v --\n", te)
+	}
+	if len(res.Stats.QuarantinedRules) > 0 {
+		fmt.Printf("-- quarantined rules: %s --\n", strings.Join(res.Stats.QuarantinedRules, ", "))
+	}
 	if len(res.Stats.Trace) > 0 {
 		fmt.Println("-- state space --")
 		for _, ev := range res.Stats.Trace {

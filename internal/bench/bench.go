@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -50,7 +51,8 @@ func (m Measurement) ImprovementPct() float64 {
 }
 
 // measureOne optimizes and executes one query under the given options.
-func measureOne(db *storage.DB, sql string, opts cbqt.Options, repeats int) (optT, execT time.Duration, rows int, shape string, err error) {
+// Cancelling ctx aborts both the state-space search and execution.
+func measureOne(ctx context.Context, db *storage.DB, sql string, opts cbqt.Options, repeats int) (optT, execT time.Duration, rows int, shape string, err error) {
 	// Optimization time: bind + CBQT + physical optimization, best of
 	// repeats to suppress allocator noise on cheap queries.
 	var res *cbqt.Result
@@ -61,7 +63,7 @@ func measureOne(db *storage.DB, sql string, opts cbqt.Options, repeats int) (opt
 			return 0, 0, 0, "", fmt.Errorf("bind: %w", berr)
 		}
 		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
-		r, oerr := o.Optimize(q)
+		r, oerr := o.OptimizeContext(ctx, q)
 		if oerr != nil {
 			return 0, 0, 0, "", fmt.Errorf("optimize %q: %w", sql, oerr)
 		}
@@ -75,7 +77,7 @@ func measureOne(db *storage.DB, sql string, opts cbqt.Options, repeats int) (opt
 	best := time.Duration(0)
 	for i := 0; i < repeats; i++ {
 		start := time.Now()
-		r, err := exec.Run(db, res.Plan)
+		r, err := exec.RunContext(ctx, db, res.Plan)
 		if err != nil {
 			return 0, 0, 0, "", fmt.Errorf("exec %q: %w", sql, err)
 		}
@@ -88,17 +90,24 @@ func measureOne(db *storage.DB, sql string, opts cbqt.Options, repeats int) (opt
 	return optT, best, rows, res.Query.SQL(), nil
 }
 
-// Compare measures every query under both modes. It verifies that both
-// modes return the same number of rows (a cheap end-to-end equivalence
-// guard on real data).
+// Compare measures every query under both modes with no cancellation. It
+// verifies that both modes return the same number of rows (a cheap
+// end-to-end equivalence guard on real data).
 func Compare(db *storage.DB, queries []workload.Query, modeA, modeB cbqt.Options, repeats int) ([]Measurement, error) {
+	return CompareContext(context.Background(), db, queries, modeA, modeB, repeats)
+}
+
+// CompareContext is Compare under a cancellable context: when ctx is
+// cancelled the search degrades to the best plans found so far and the
+// next query execution aborts with an error.
+func CompareContext(ctx context.Context, db *storage.DB, queries []workload.Query, modeA, modeB cbqt.Options, repeats int) ([]Measurement, error) {
 	var out []Measurement
 	for _, wq := range queries {
-		aOpt, aExec, aRows, aShape, err := measureOne(db, wq.SQL, modeA, repeats)
+		aOpt, aExec, aRows, aShape, err := measureOne(ctx, db, wq.SQL, modeA, repeats)
 		if err != nil {
 			return nil, fmt.Errorf("query %d (%s) mode A: %w", wq.ID, wq.Class, err)
 		}
-		bOpt, bExec, bRows, bShape, err := measureOne(db, wq.SQL, modeB, repeats)
+		bOpt, bExec, bRows, bShape, err := measureOne(ctx, db, wq.SQL, modeB, repeats)
 		if err != nil {
 			return nil, fmt.Errorf("query %d (%s) mode B: %w", wq.ID, wq.Class, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -141,16 +142,16 @@ func TestFiguresRunOnSmallDB(t *testing.T) {
 		t.Skip("short mode")
 	}
 	db := testkit.NewDB(testkit.SmallSizes(), 7)
-	if _, err := Figure2(db, 2, 1); err != nil {
+	if _, err := Figure2(context.Background(), db, 2, 1); err != nil {
 		t.Errorf("figure 2: %v", err)
 	}
-	if _, err := Figure3(db, 2, 1); err != nil {
+	if _, err := Figure3(context.Background(), db, 2, 1); err != nil {
 		t.Errorf("figure 3: %v", err)
 	}
-	if _, err := Figure4(db, 2, 1); err != nil {
+	if _, err := Figure4(context.Background(), db, 2, 1); err != nil {
 		t.Errorf("figure 4: %v", err)
 	}
-	if _, err := GroupByPlacementExp(db, 3, 1); err != nil {
+	if _, err := GroupByPlacementExp(context.Background(), db, 3, 1); err != nil {
 		t.Errorf("gbp: %v", err)
 	}
 }

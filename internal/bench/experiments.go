@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -40,7 +41,7 @@ func heuristicModeOptions() cbqt.Options {
 // Figure2 compares heuristic-decision transformation against cost-based
 // transformation over the CBQT-relevant workload classes that §4.1 lists:
 // subquery unnesting, group-by view merging, and join predicate pushdown.
-func Figure2(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
+func Figure2(ctx context.Context, db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	cfg := workloadConfig(42, 0)
 	var qs []workload.Query
 	for i, class := range []workload.Class{
@@ -49,7 +50,7 @@ func Figure2(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	} {
 		qs = append(qs, workload.GenerateClass(int64(100+i), queriesPerClass, cfg, class)...)
 	}
-	ms, err := Compare(db, qs, heuristicModeOptions(), defaultOptions(), repeats)
+	ms, err := CompareContext(ctx, db, qs, heuristicModeOptions(), defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -58,7 +59,7 @@ func Figure2(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 
 // Figure3 compares unnesting completely disabled against cost-based
 // unnesting (§4.2).
-func Figure3(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
+func Figure3(ctx context.Context, db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	cfg := workloadConfig(43, 0)
 	var qs []workload.Query
 	for i, class := range []workload.Class{
@@ -72,7 +73,7 @@ func Figure3(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	off.RuleModes = map[string]cbqt.RuleMode{
 		(&transform.UnnestSubquery{}).Name(): cbqt.RuleOff,
 	}
-	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
+	ms, err := CompareContext(ctx, db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -81,7 +82,7 @@ func Figure3(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 
 // Figure4 compares JPPD completely disabled against cost-based JPPD
 // (§4.2). Everything else stays cost-based on both sides.
-func Figure4(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
+func Figure4(ctx context.Context, db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	cfg := workloadConfig(44, 0)
 	var qs []workload.Query
 	for i, class := range []workload.Class{
@@ -91,7 +92,7 @@ func Figure4(db *storage.DB, queriesPerClass int, repeats int) (Report, error) {
 	}
 	off := defaultOptions()
 	off.Rules = rulesWithViewStrategy(&transform.ViewStrategy{NoJPPD: true})
-	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
+	ms, err := CompareContext(ctx, db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}
@@ -114,14 +115,14 @@ func rulesWithViewStrategy(vs *transform.ViewStrategy) []transform.Rule {
 
 // GroupByPlacementExp compares GBP off against GBP on (§4.3; in Oracle the
 // GBP transformation is never applied heuristically).
-func GroupByPlacementExp(db *storage.DB, queries int, repeats int) (Report, error) {
+func GroupByPlacementExp(ctx context.Context, db *storage.DB, queries int, repeats int) (Report, error) {
 	cfg := workloadConfig(45, 0)
 	qs := workload.GenerateClass(400, queries, cfg, workload.ClassGBP)
 	off := defaultOptions()
 	off.RuleModes = map[string]cbqt.RuleMode{
 		(&transform.GroupByPlacement{}).Name(): cbqt.RuleOff,
 	}
-	ms, err := Compare(db, qs, off, defaultOptions(), repeats)
+	ms, err := CompareContext(ctx, db, qs, off, defaultOptions(), repeats)
 	if err != nil {
 		return Report{}, err
 	}

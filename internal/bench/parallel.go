@@ -17,13 +17,20 @@ import (
 // exact per-strategy accounting is the experiment.
 var Parallelism int
 
+// Budget, when non-zero, applies a per-query optimization budget to every
+// optimizer configuration the figure experiments build (benchrunner's
+// -timeout flag). Budget-capped runs degrade to the best plan found, so
+// the equivalence guard in Compare still holds.
+var Budget cbqt.Budget
+
 // defaultOptions is cbqt.DefaultOptions with the benchmark-wide
-// parallelism override applied.
+// parallelism and budget overrides applied.
 func defaultOptions() cbqt.Options {
 	opts := cbqt.DefaultOptions()
 	if Parallelism > 0 {
 		opts.Parallelism = Parallelism
 	}
+	opts.Budget = Budget
 	return opts
 }
 

@@ -1,0 +1,242 @@
+package cbqt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+)
+
+// stack captures the current goroutine stack for TransformError reports.
+func stack() string { return string(debug.Stack()) }
+
+// Budget bounds one query's cost-based transformation search (§3's "the
+// optimizer must be bounded to be shippable"). A zero field disables that
+// bound; the zero Budget is unlimited. Exhausting any bound degrades the
+// search gracefully — the driver keeps the best fully-costed state found so
+// far (falling back to the heuristic-only form) and records the reason in
+// Stats.Degraded — it never fails the query.
+type Budget struct {
+	// Timeout is the wall-clock budget for the transformation search,
+	// measured from the start of OptimizeContext. The final physical
+	// optimization of the chosen form always runs, so a plan is returned
+	// even at Timeout values too small to cost a single state.
+	Timeout time.Duration
+	// MaxStates caps transformation states costed across all rules.
+	MaxStates int
+	// MaxDepth caps the total number of object transformations applied to
+	// the query: states needing more transformations than the remaining
+	// depth are skipped, and each chosen winner consumes depth equal to its
+	// transformed-object count. The analogue of the bottom-up-rewrite
+	// papers' bounded rewrite budget.
+	MaxDepth int
+	// MaxMemBytes caps the approximate bytes held by per-state deep copies
+	// of the query tree plus the cost-annotation cache.
+	MaxMemBytes int64
+}
+
+// DegradeReason says why a search stopped early; empty means it ran to
+// completion.
+type DegradeReason string
+
+// The degradation reasons, in the order they are documented in EXPLAIN
+// output ("degraded: deadline" etc.).
+const (
+	DegradeNone     DegradeReason = ""
+	DegradeDeadline DegradeReason = "deadline"
+	DegradeStateCap DegradeReason = "state-cap"
+	DegradeDepthCap DegradeReason = "depth-cap"
+	DegradeMemCap   DegradeReason = "mem-cap"
+	DegradeCanceled DegradeReason = "canceled"
+)
+
+// TransformError is a transformation failure (usually a recovered panic)
+// converted into data: the search quarantines the rule, keeps the query
+// untransformed by it, and carries the error in Stats.TransformErrors.
+type TransformError struct {
+	// Rule is the transformation (or pseudo-site, e.g. "heuristics") that
+	// failed.
+	Rule string
+	// State is the mixed-radix state being evaluated, when known.
+	State string
+	// Panic is the recovered panic value, nil for returned errors.
+	Panic any
+	// Err is the returned error, nil for panics.
+	Err error
+	// Stack is the goroutine stack captured at recovery time.
+	Stack string
+}
+
+func (e *TransformError) Error() string {
+	what := "error"
+	detail := fmt.Sprintf("%v", e.Err)
+	if e.Panic != nil {
+		what = "panic"
+		detail = fmt.Sprintf("%v", e.Panic)
+	}
+	if e.State != "" {
+		return fmt.Sprintf("cbqt: %s in %s state (%s): %s", what, e.Rule, e.State, detail)
+	}
+	return fmt.Sprintf("cbqt: %s in %s: %s", what, e.Rule, detail)
+}
+
+func (e *TransformError) Unwrap() error { return e.Err }
+
+// errBudgetStop tells a search loop to stop and return its best state so
+// far. Never escapes the cbqt package.
+var errBudgetStop = errors.New("cbqt: budget exhausted, stop search")
+
+// budgetTracker enforces a Budget across the (possibly parallel) search.
+// State-count and memory accounting go through reserve, which grants states
+// in enumeration order before they are dispatched — so the set of states a
+// capped search evaluates is the same prefix of the canonical enumeration
+// at every parallelism level, keeping capped searches deterministic. The
+// first bound to trip records the sticky degradation reason.
+type budgetTracker struct {
+	ctx           context.Context
+	deadline      time.Time // zero = none
+	maxStates     int64     // 0 = unlimited
+	maxMem        int64     // 0 = unlimited
+	perStateBytes int64     // approx bytes of one deep-copied query tree
+	cacheBytes    func() int64
+
+	resMu     sync.Mutex   // serializes reserve's read-modify-write
+	states    atomic.Int64 // states granted so far
+	depthUsed atomic.Int64
+
+	maxDepth int // 0 = unlimited
+
+	mu     sync.Mutex
+	reason DegradeReason
+}
+
+func newBudgetTracker(ctx context.Context, b Budget, q *qtree.Query, cache *optimizer.CostCache) *budgetTracker {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	t := &budgetTracker{
+		ctx:           ctx,
+		maxStates:     int64(b.MaxStates),
+		maxDepth:      b.MaxDepth,
+		maxMem:        b.MaxMemBytes,
+		perStateBytes: q.ApproxBytes(),
+		cacheBytes:    func() int64 { return 0 },
+	}
+	if b.Timeout > 0 {
+		t.deadline = time.Now().Add(b.Timeout)
+	}
+	if d, ok := ctx.Deadline(); ok && (t.deadline.IsZero() || d.Before(t.deadline)) {
+		t.deadline = d
+	}
+	if cache != nil {
+		t.cacheBytes = cache.ApproxBytes
+	}
+	return t
+}
+
+// trip records the first degradation reason; later trips keep the first.
+func (t *budgetTracker) trip(r DegradeReason) {
+	t.mu.Lock()
+	if t.reason == DegradeNone {
+		t.reason = r
+	}
+	t.mu.Unlock()
+}
+
+func (t *budgetTracker) degradeReason() DegradeReason {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reason
+}
+
+// expired reports (and records) whether the wall-clock or cancellation
+// bounds have tripped.
+func (t *budgetTracker) expired() bool {
+	select {
+	case <-t.ctx.Done():
+		t.trip(DegradeCanceled)
+		return true
+	default:
+	}
+	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
+		t.trip(DegradeDeadline)
+		return true
+	}
+	return false
+}
+
+// reserve grants permission to cost up to n more states and returns how
+// many were granted (0..n). The grant depends only on the totals reserved
+// so far, never on goroutine scheduling, so trimming a parallel batch to
+// its granted prefix evaluates exactly the states the sequential search
+// would.
+func (t *budgetTracker) reserve(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if t.expired() {
+		return 0
+	}
+	t.resMu.Lock()
+	defer t.resMu.Unlock()
+	granted := int64(n)
+	used := t.states.Load()
+	if t.maxStates > 0 && used+granted > t.maxStates {
+		granted = t.maxStates - used
+		if granted < 0 {
+			granted = 0
+		}
+		t.trip(DegradeStateCap)
+	}
+	if t.maxMem > 0 && t.perStateBytes > 0 {
+		avail := t.maxMem - t.cacheBytes() - used*t.perStateBytes
+		if byMem := avail / t.perStateBytes; byMem < granted {
+			if byMem < 0 {
+				byMem = 0
+			}
+			granted = byMem
+			t.trip(DegradeMemCap)
+		}
+	}
+	t.states.Add(granted)
+	return int(granted)
+}
+
+// allowWeight reports whether a state applying w object transformations
+// fits in the remaining transformation depth. A pure function of the state
+// and the depth consumed by already-chosen winners, so filtering is
+// deterministic at any parallelism.
+func (t *budgetTracker) allowWeight(w int) bool {
+	if t.maxDepth <= 0 || w == 0 {
+		return true
+	}
+	if int64(w)+t.depthUsed.Load() > int64(t.maxDepth) {
+		t.trip(DegradeDepthCap)
+		return false
+	}
+	return true
+}
+
+// noteDepth consumes depth for a chosen winner.
+func (t *budgetTracker) noteDepth(w int) {
+	if w > 0 {
+		t.depthUsed.Add(int64(w))
+	}
+}
+
+// weight is the number of transformed (non-zero) objects in a state.
+func weight(s state) int {
+	w := 0
+	for _, v := range s {
+		if v != 0 {
+			w++
+		}
+	}
+	return w
+}

@@ -17,10 +17,12 @@
 package cbqt
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/faultinject"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/transform"
@@ -121,6 +123,17 @@ type Options struct {
 	// Trace records every state evaluated (rule, state vector, cost) in
 	// Stats.Trace; used by the CLI's -trace flag and by examples.
 	Trace bool
+	// Budget bounds the transformation search; the zero Budget is
+	// unlimited. Exhaustion degrades the search (Stats.Degraded says why)
+	// instead of failing the query.
+	Budget Budget
+	// CacheMaxEntries bounds the cost-annotation cache; <= 0 selects
+	// optimizer.DefaultCacheMaxEntries.
+	CacheMaxEntries int
+	// Faults, when non-nil, is the fault-injection schedule fired at the
+	// named sites of the optimize path (see package faultinject). Injected
+	// panics and errors degrade the search; they never fail the query.
+	Faults *faultinject.Set
 }
 
 // DefaultOptions mirror the paper's configuration.
@@ -155,6 +168,21 @@ type Stats struct {
 	OptimizeTime time.Duration
 	// Trace lists every state evaluated when Options.Trace is set.
 	Trace []StateEval
+	// Degraded records why the search stopped early (empty: it completed).
+	Degraded DegradeReason
+	// TransformErrors lists transformation failures (recovered panics and
+	// injected errors) absorbed during the search.
+	TransformErrors []*TransformError
+	// QuarantinedRules lists transformations disabled for the rest of the
+	// query after a failure, in quarantine order.
+	QuarantinedRules []string
+	// CacheHits/CacheMisses/CacheEvictions snapshot the cost-annotation
+	// cache counters for this optimization. CacheHits counts the same
+	// events as AnnotationHits, measured at the cache rather than summed
+	// over per-state planners.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheEvictions int64
 }
 
 // StateEval is one costed transformation state: the paper's (0,1,...)
@@ -191,18 +219,29 @@ type Result struct {
 // state-space search, and final physical optimization. The input query is
 // mutated (the chosen directives are applied to it).
 func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
+	return o.OptimizeContext(context.Background(), q)
+}
+
+// OptimizeContext is Optimize under a context: cancellation (like every
+// other Budget bound) stops the search at the next state boundary and the
+// best form found so far is planned and returned, with Stats.Degraded
+// recording the reason. The final physical optimization always runs, so a
+// plan comes back even when the budget never admitted a single state.
+func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Result, error) {
 	start := time.Now()
 	stats := Stats{StatesByRule: map[string]int{}}
 
-	if !o.Opts.SkipHeuristics {
-		if err := o.applyHeuristics(q); err != nil {
-			return nil, err
-		}
-	}
-
 	var cache *optimizer.CostCache
 	if o.Opts.AnnotationReuse {
-		cache = optimizer.NewCostCache()
+		cache = optimizer.NewCostCacheLimited(o.Opts.CacheMaxEntries)
+		cache.Faults = o.Opts.Faults
+	}
+	tracker := newBudgetTracker(ctx, o.Opts.Budget, q, cache)
+
+	if !o.Opts.SkipHeuristics {
+		if err := o.protectedHeuristics(q, &stats); err != nil {
+			return nil, err
+		}
 	}
 
 	rules := o.Opts.Rules
@@ -210,16 +249,44 @@ func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
 		rules = transform.CostBasedRules()
 	}
 
+	// quarantine disables a failed transformation for the rest of the
+	// query: the search continues with the untransformed state, identically
+	// at every parallelism level.
+	quarantined := map[string]bool{}
+	quarantine := func(rule string, te *TransformError) {
+		stats.TransformErrors = append(stats.TransformErrors, te)
+		if !quarantined[rule] {
+			quarantined[rule] = true
+			stats.QuarantinedRules = append(stats.QuarantinedRules, rule)
+		}
+	}
+	// safeFind quarantines rules whose object discovery panics.
+	safeFind := func(r transform.Rule) (n int) {
+		defer func() {
+			if p := recover(); p != nil {
+				quarantine(r.Name(), &TransformError{Rule: r.Name(), Panic: p, Stack: stack()})
+				n = 0
+			}
+		}()
+		return r.Find(q)
+	}
+
 	// Total object count decides the two-pass degradation (§3.2).
 	totalObjects := 0
 	for _, r := range rules {
-		if o.mode(r) == RuleOff {
+		if o.mode(r) == RuleOff || quarantined[r.Name()] {
 			continue
 		}
-		totalObjects += r.Find(q)
+		totalObjects += safeFind(r)
 	}
 
 	for _, r := range rules {
+		if tracker.expired() {
+			break // degraded: keep the form chosen so far
+		}
+		if quarantined[r.Name()] {
+			continue
+		}
 		switch o.mode(r) {
 		case RuleOff:
 			continue
@@ -229,33 +296,42 @@ func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
 			}
 			continue
 		}
-		n := r.Find(q)
+		n := safeFind(r)
 		if n == 0 {
 			continue
 		}
 		strat := o.pickStrategy(n, totalObjects)
-		best, states, err := o.search(q, r, n, strat, cache, &stats)
-		if err != nil {
-			return nil, err
-		}
+		best, states, err := o.search(q, r, n, strat, cache, &stats, tracker)
 		stats.StatesEvaluated += states
 		stats.StatesByRule[r.Name()] += states
+		if err != nil {
+			var te *TransformError
+			if errors.As(err, &te) {
+				// One bad rewrite must not lose the query: keep it
+				// untransformed by this rule and move on.
+				quarantine(r.Name(), te)
+				continue
+			}
+			return nil, err
+		}
 		// Transfer the winning directives onto the original tree (§3.1).
 		if !best.isZero() {
-			if err := applyState(q, r, best); err != nil {
-				return nil, fmt.Errorf("cbqt: applying best state of %s: %w", r.Name(), err)
-			}
-			if !o.Opts.SkipHeuristics {
-				if err := o.applyHeuristics(q); err != nil {
-					return nil, err
-				}
+			if o.applyWinner(q, r, best, quarantine) {
+				tracker.noteDepth(weight(best))
 			}
 		}
 	}
 
+	stats.Degraded = tracker.degradeReason()
+	if cache != nil {
+		cs := cache.CounterStats()
+		stats.CacheHits, stats.CacheMisses, stats.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+	}
+
 	// Final physical optimization of the chosen form. Its block count is
 	// not added to Stats.BlocksOptimized, which measures state-space
-	// evaluation work (Table 1).
+	// evaluation work (Table 1). It runs without the search budget: a
+	// degraded optimization must still produce an executable plan.
 	p := optimizer.New(o.Cat)
 	plan, err := p.Optimize(q)
 	if err != nil {
@@ -265,7 +341,66 @@ func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
 	return &Result{Query: q, Plan: plan, Stats: stats}, nil
 }
 
+// protectedHeuristics runs the imperative transformation phase with panic
+// isolation: a panicking or fault-injected pass restores the tree from a
+// backup clone and records a TransformError, degrading to the untransformed
+// query instead of failing it. Genuine rule errors still propagate.
+func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error) {
+	backup, _ := q.Clone()
+	defer func() {
+		if p := recover(); p != nil {
+			q.AdoptFrom(backup)
+			stats.TransformErrors = append(stats.TransformErrors,
+				&TransformError{Rule: "heuristics", Panic: p, Stack: stack()})
+			err = nil
+		}
+	}()
+	if herr := o.applyHeuristics(q); herr != nil {
+		if errors.Is(herr, faultinject.ErrInjected) {
+			q.AdoptFrom(backup)
+			stats.TransformErrors = append(stats.TransformErrors,
+				&TransformError{Rule: "heuristics", Err: herr})
+			return nil
+		}
+		return herr
+	}
+	return nil
+}
+
+// applyWinner transfers the winning directives (and the heuristic re-pass
+// they enable) onto the original tree, protected against panics: on any
+// failure the tree is restored from a backup clone via AdoptFrom — which
+// keeps from-ID allocation owned by q, so the non-fault path and the SQL it
+// generates are untouched — and the rule is quarantined.
+func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, quarantine func(string, *TransformError)) (applied bool) {
+	backup, _ := q.Clone()
+	fail := func(p any, err error, stk string) {
+		q.AdoptFrom(backup)
+		quarantine(r.Name(), &TransformError{Rule: r.Name(), State: stateKey(best), Panic: p, Err: err, Stack: stk})
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			fail(p, nil, stack())
+			applied = false
+		}
+	}()
+	if err := o.applyState(q, r, best); err != nil {
+		fail(nil, err, "")
+		return false
+	}
+	if !o.Opts.SkipHeuristics {
+		if err := o.applyHeuristics(q); err != nil {
+			fail(nil, err, "")
+			return false
+		}
+	}
+	return true
+}
+
 func (o *Optimizer) applyHeuristics(q *qtree.Query) error {
+	if err := o.Opts.Faults.Fire("heuristics"); err != nil {
+		return err
+	}
 	if o.Opts.DisableMergeUnnest {
 		// Run the heuristic set minus merge unnesting.
 		for pass := 0; pass < 10; pass++ {
@@ -353,13 +488,17 @@ func (s state) isZero() bool {
 
 func (s state) clone() state { return append(state(nil), s...) }
 
-// applyState deep-applies a state to query q in place.
-func applyState(q *qtree.Query, r transform.Rule, s state) error {
+// applyState deep-applies a state to query q in place, firing the
+// "apply:<rule>" fault-injection site once per object application.
+func (o *Optimizer) applyState(q *qtree.Query, r transform.Rule, s state) error {
 	// Objects are applied from the last to the first so earlier object
 	// indexes remain valid as the tree mutates.
 	for obj := len(s) - 1; obj >= 0; obj-- {
 		if s[obj] == 0 {
 			continue
+		}
+		if err := o.Opts.Faults.Fire("apply:" + r.Name()); err != nil {
+			return err
 		}
 		if err := r.Apply(q, obj, s[obj]); err != nil {
 			return err

@@ -96,6 +96,48 @@ func TestGoldenExplain(t *testing.T) {
 	}
 }
 
+// TestGoldenExplainDegraded pins the degradation annotation format: a
+// state-capped search on the Table 2 query must label its EXPLAIN output
+// with the degradation reason, and the capped plan itself is part of the
+// snapshot (the deterministic-prefix guarantee makes it stable).
+func TestGoldenExplainDegraded(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	opts := DefaultOptions()
+	opts.Strategy = StrategyExhaustive
+	opts.Parallelism = 1
+	opts.Budget.MaxStates = 3
+	q := qtree.MustBind(table2SQL, db.Catalog)
+	o := &Optimizer{Cat: db.Catalog, Opts: opts}
+	res, err := o.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Degraded != DegradeStateCap {
+		t.Fatalf("Degraded = %q, want %q", res.Stats.Degraded, DegradeStateCap)
+	}
+	got := fmt.Sprintf("-- search: degraded: %s (%d states evaluated) --\n-- transformed SQL --\n%s\n\n-- plan (total cost %.1f) --\n%s",
+		res.Stats.Degraded, res.Stats.StatesEvaluated,
+		res.Query.SQL(), res.Plan.Cost.Total, optimizer.Explain(res.Plan))
+	path := filepath.Join("testdata", "golden", "table2_degraded_statecap.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden snapshot %s (run with -update to create): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("degraded EXPLAIN snapshot diverged from %s:\n--- got ---\n%s\n--- want ---\n%s\ndiff starts at %q",
+			path, got, want, firstDiff(got, string(want)))
+	}
+}
+
 // firstDiff returns a short context window around the first byte where the
 // two snapshots diverge.
 func firstDiff(a, b string) string {

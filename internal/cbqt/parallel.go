@@ -30,6 +30,14 @@ import (
 //     ties broken by enumeration order (the state's mixed-radix key),
 //     never by completion order — so the chosen state, its cost and the
 //     final plan are bit-for-bit identical at every parallelism level.
+//
+// The budget and fault-isolation layer preserves that determinism: state
+// caps trim a batch to its granted prefix of the enumeration before
+// dispatch (budgetTracker.reserve), and a panicking state quarantines its
+// rule identically at every worker count because mergeBatch surfaces the
+// first failure by enumeration order, not the first in time. Each worker
+// additionally recovers panics around every state it claims, so one bad
+// rewrite can never wedge the pool.
 
 // parallelism resolves Options.Parallelism to a concrete worker count.
 func (o *Optimizer) parallelism() int {
@@ -79,8 +87,17 @@ type stateEvalResult struct {
 // goroutines share a Stats value. bound seeds and propagates the cost
 // cut-off; it is lowered with every feasible state cost so later
 // evaluations prune against the best cost known so far.
-func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, cache *optimizer.CostCache, bound *bestBound, par int) []stateEvalResult {
+//
+// Every result slot starts as errBudgetStop and is overwritten when its
+// state is actually evaluated: a worker that stops claiming states (wall
+// clock expired) leaves the rest of the batch marked "skipped by budget",
+// never silently costed at zero. A panic escaping evalState's own recovery
+// is caught at the worker too, so the pool always drains.
+func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, cache *optimizer.CostCache, bound *bestBound, tracker *budgetTracker, par int) []stateEvalResult {
 	results := make([]stateEvalResult, len(states))
+	for i := range results {
+		results[i].err = errBudgetStop
+	}
 	if par > len(states) {
 		par = len(states)
 	}
@@ -95,11 +112,21 @@ func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, 
 				if i >= len(states) {
 					return
 				}
-				res := &results[i]
-				res.cost, res.err = o.evalState(q, r, states[i], cache, bound.get(), &res.stats)
-				if res.err == nil {
-					bound.lower(res.cost)
-				}
+				func() {
+					res := &results[i]
+					defer func() {
+						if p := recover(); p != nil {
+							res.err = &TransformError{Rule: r.Name(), State: stateKey(states[i]), Panic: p, Stack: stack()}
+						}
+					}()
+					if tracker.expired() {
+						return // res.err stays errBudgetStop
+					}
+					res.cost, res.err = o.evalState(q, r, states[i], cache, bound.get(), &res.stats, tracker)
+					if res.err == nil {
+						bound.lower(res.cost)
+					}
+				}()
 			}
 		}()
 	}
@@ -111,8 +138,8 @@ func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, 
 // order and selects the winner: the minimum-cost feasible state, ties
 // broken by the smaller enumeration index. It returns the winner's index
 // (-1 when no state was costed below +Inf), its cost, the number of states
-// successfully costed, and the first (by enumeration order) non-infeasible
-// error.
+// successfully costed, and the first (by enumeration order) error that is
+// neither "state infeasible" nor "skipped by budget".
 func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost float64, count int, err error) {
 	bestIdx, bestCost = -1, math.Inf(1)
 	for i := range results {
@@ -120,8 +147,9 @@ func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost 
 		stats.BlocksOptimized += res.stats.BlocksOptimized
 		stats.AnnotationHits += res.stats.AnnotationHits
 		stats.Trace = append(stats.Trace, res.stats.Trace...)
+		stats.TransformErrors = append(stats.TransformErrors, res.stats.TransformErrors...)
 		if res.err != nil {
-			if !errors.Is(res.err, errInfeasible) && err == nil {
+			if !errors.Is(res.err, errInfeasible) && !errors.Is(res.err, errBudgetStop) && err == nil {
 				err = res.err
 			}
 			continue
@@ -163,10 +191,16 @@ func enumerateStates(variants []int) []state {
 }
 
 // searchExhaustiveParallel is searchExhaustive with the whole state space
-// fanned out to the worker pool at once.
-func (o *Optimizer) searchExhaustiveParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+// fanned out to the worker pool at once. A state cap trims the space to the
+// same enumeration prefix the sequential search would evaluate.
+func (o *Optimizer) searchExhaustiveParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker, par int) (state, int, error) {
 	states := enumerateStates(variants)
-	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), par)
+	granted := tracker.reserve(len(states))
+	if granted == 0 {
+		return make(state, len(variants)), 0, nil
+	}
+	states = states[:granted]
+	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), tracker, par)
 	bestIdx, _, count, err := mergeBatch(results, stats)
 	if err != nil {
 		return nil, count, err
@@ -184,11 +218,17 @@ func (o *Optimizer) searchExhaustiveParallel(q *qtree.Query, r transform.Rule, v
 // sequential (each fixes the context of the next), matching the sequential
 // search: object i keeps variant v only if it lowers the best cost, ties
 // going to the smaller v.
-func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker, par int) (state, int, error) {
 	n := len(variants)
 	cur := make(state, n)
-	bestCost, err := o.evalState(q, r, cur, cache, 0, stats)
+	if tracker.reserve(1) == 0 {
+		return cur, 0, nil
+	}
+	bestCost, err := o.evalState(q, r, cur, cache, 0, stats, tracker)
 	if err != nil {
+		if errors.Is(err, errBudgetStop) || errors.Is(err, errInfeasible) {
+			return cur, 0, nil
+		}
 		return nil, 1, err
 	}
 	count := 1
@@ -202,15 +242,23 @@ func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, varia
 		if len(trials) == 0 {
 			continue
 		}
-		results := o.evalBatch(q, r, trials, cache, newBestBound(bestCost), par)
-		bestIdx, cost, batchCount, err := mergeBatch(results, stats)
-		count += batchCount
-		if err != nil {
-			return nil, count, err
+		granted := tracker.reserve(len(trials))
+		capped := granted < len(trials)
+		trials = trials[:granted]
+		if granted > 0 {
+			results := o.evalBatch(q, r, trials, cache, newBestBound(bestCost), tracker, par)
+			bestIdx, cost, batchCount, err := mergeBatch(results, stats)
+			count += batchCount
+			if err != nil {
+				return nil, count, err
+			}
+			if bestIdx >= 0 && cost < bestCost {
+				bestCost = cost
+				cur[i] = bestIdx + 1
+			}
 		}
-		if bestIdx >= 0 && cost < bestCost {
-			bestCost = cost
-			cur[i] = bestIdx + 1
+		if capped {
+			return cur, count, nil // degraded mid-object, decisions so far stand
 		}
 	}
 	return cur, count, nil
@@ -220,19 +268,29 @@ func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, varia
 // states (§3.2) concurrently. Sequentially the zero state's cost seeds the
 // cut-off for the transformed state; in parallel both start unbounded and
 // whichever finishes first bounds the other — the comparison is unchanged.
-func (o *Optimizer) searchTwoPassParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, par int) (state, int, error) {
+func (o *Optimizer) searchTwoPassParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker, par int) (state, int, error) {
 	n := len(variants)
 	zero := make(state, n)
 	all := make(state, n)
 	for i := range all {
 		all[i] = 1 // first variant of every object
 	}
-	results := o.evalBatch(q, r, []state{zero, all}, cache, newBestBound(math.Inf(1)), par)
+	granted := tracker.reserve(2)
+	if granted == 0 {
+		return zero, 0, nil
+	}
+	states := []state{zero, all}[:granted]
+	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), tracker, par)
 	bestIdx, _, count, err := mergeBatch(results, stats)
-	if results[0].err != nil {
-		// The untransformed state must be costable; mirror the sequential
-		// search and fail (even an infeasible zero state is a driver bug).
-		return nil, count, results[0].err
+	if zerr := results[0].err; zerr != nil {
+		if errors.Is(zerr, errInfeasible) || errors.Is(zerr, errBudgetStop) {
+			// Degraded or fault-skipped baseline: stay untransformed, as the
+			// sequential search does.
+			return zero, count, nil
+		}
+		// A genuinely uncostable zero state is a driver bug; mirror the
+		// sequential search and fail.
+		return nil, count, zerr
 	}
 	if err != nil {
 		return nil, count, err

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/faultinject"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/transform"
@@ -16,34 +17,65 @@ var errInfeasible = errors.New("cbqt: state infeasible")
 // evalState deep-copies the query, applies the state, re-runs the
 // imperative transformations that the new constructs may enable (§3.1), and
 // invokes the physical optimizer in cost-only mode.
-func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *optimizer.CostCache, cutoff float64, stats *Stats) (float64, error) {
+//
+// It is the fault boundary of the search: the "state:<rule>" injection site
+// fires first, any panic out of the transformation or the planner is
+// recovered into a *TransformError (the caller quarantines the rule),
+// injected errors skip just this state, and a planner budget abort maps to
+// errBudgetStop ("stop searching, keep the best so far").
+func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *optimizer.CostCache, cutoff float64, stats *Stats, tracker *budgetTracker) (cost float64, err error) {
+	if !tracker.allowWeight(weight(s)) {
+		return 0, errInfeasible // deeper than the remaining depth budget
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			cost = 0
+			err = &TransformError{Rule: r.Name(), State: stateKey(s), Panic: p, Stack: stack()}
+		}
+	}()
+	if ferr := o.Opts.Faults.Fire("state:" + r.Name()); ferr != nil {
+		stats.TransformErrors = append(stats.TransformErrors,
+			&TransformError{Rule: r.Name(), State: stateKey(s), Err: ferr})
+		return 0, errInfeasible
+	}
 	clone, _ := q.Clone()
-	if err := applyState(clone, r, s); err != nil {
+	if aerr := o.applyState(clone, r, s); aerr != nil {
 		return 0, errInfeasible
 	}
 	if !o.Opts.SkipHeuristics && !s.isZero() {
-		if err := o.applyHeuristics(clone); err != nil {
-			return 0, err
+		if herr := o.applyHeuristics(clone); herr != nil {
+			if errors.Is(herr, faultinject.ErrInjected) {
+				stats.TransformErrors = append(stats.TransformErrors,
+					&TransformError{Rule: r.Name(), State: stateKey(s), Err: herr})
+				return 0, errInfeasible
+			}
+			return 0, herr
 		}
 	}
 	p := optimizer.New(o.Cat)
 	p.CostOnly = true
 	p.Cache = cache
+	p.Ctx = tracker.ctx
+	p.Deadline = tracker.deadline
 	if o.Opts.CostCutoff && cutoff > 0 && !math.IsInf(cutoff, 1) {
 		p.Cutoff = cutoff
 	}
-	plan, err := p.Optimize(clone)
+	plan, perr := p.Optimize(clone)
 	stats.BlocksOptimized += p.Counters.BlocksOptimized
 	stats.AnnotationHits += p.Counters.CacheHits
-	if err != nil {
-		if errors.Is(err, optimizer.ErrCutoff) {
+	if perr != nil {
+		if errors.Is(perr, optimizer.ErrCutoff) {
 			// §3.4.1: the state exceeded the best cost; abandon it.
 			if o.Opts.Trace {
 				stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: math.Inf(1)})
 			}
 			return math.Inf(1), nil
 		}
-		return 0, err
+		if errors.Is(perr, optimizer.ErrBudget) {
+			tracker.expired() // record deadline vs. canceled
+			return 0, errBudgetStop
+		}
+		return 0, perr
 	}
 	if o.Opts.Trace {
 		stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: plan.Cost.Total})
@@ -53,7 +85,7 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 
 // search runs the chosen strategy and returns the best state found plus
 // the number of states evaluated.
-func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strategy, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strategy, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker) (state, int, error) {
 	variants := make([]int, n)
 	for i := 0; i < n; i++ {
 		variants[i] = r.Variants(q, i)
@@ -65,46 +97,53 @@ func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strate
 	switch strat {
 	case StrategyExhaustive:
 		if par > 1 {
-			return o.searchExhaustiveParallel(q, r, variants, cache, stats, par)
+			return o.searchExhaustiveParallel(q, r, variants, cache, stats, tracker, par)
 		}
-		return o.searchExhaustive(q, r, variants, cache, stats)
+		return o.searchExhaustive(q, r, variants, cache, stats, tracker)
 	case StrategyLinear:
 		if par > 1 {
-			return o.searchLinearParallel(q, r, variants, cache, stats, par)
+			return o.searchLinearParallel(q, r, variants, cache, stats, tracker, par)
 		}
-		return o.searchLinear(q, r, variants, cache, stats)
+		return o.searchLinear(q, r, variants, cache, stats, tracker)
 	case StrategyTwoPass:
 		if par > 1 {
-			return o.searchTwoPassParallel(q, r, variants, cache, stats, par)
+			return o.searchTwoPassParallel(q, r, variants, cache, stats, tracker, par)
 		}
-		return o.searchTwoPass(q, r, variants, cache, stats)
+		return o.searchTwoPass(q, r, variants, cache, stats, tracker)
 	case StrategyIterative:
 		// Each hill-climbing step depends on the previous best state;
 		// iterative improvement stays sequential at every parallelism.
-		return o.searchIterative(q, r, variants, cache, stats)
+		return o.searchIterative(q, r, variants, cache, stats, tracker)
 	}
 	if par > 1 {
-		return o.searchExhaustiveParallel(q, r, variants, cache, stats, par)
+		return o.searchExhaustiveParallel(q, r, variants, cache, stats, tracker, par)
 	}
-	return o.searchExhaustive(q, r, variants, cache, stats)
+	return o.searchExhaustive(q, r, variants, cache, stats, tracker)
 }
 
 // searchExhaustive enumerates every combination: with binary objects that
 // is the paper's 2^N states; with V-variant objects, prod(V_i + 1).
-func (o *Optimizer) searchExhaustive(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+// Budget exhaustion returns the best state found so far (the zero state
+// when nothing was costed yet).
+func (o *Optimizer) searchExhaustive(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker) (state, int, error) {
 	n := len(variants)
 	cur := make(state, n)
 	best := cur.clone()
 	bestCost := math.Inf(1)
 	count := 0
 	for {
-		cost, err := o.evalState(q, r, cur, cache, bestCost, stats)
+		if tracker.reserve(1) == 0 {
+			return best, count, nil // degraded: best fully-costed state so far
+		}
+		cost, err := o.evalState(q, r, cur, cache, bestCost, stats, tracker)
 		if err == nil {
 			count++
 			if cost < bestCost {
 				bestCost = cost
 				best = cur.clone()
 			}
+		} else if errors.Is(err, errBudgetStop) {
+			return best, count, nil
 		} else if !errors.Is(err, errInfeasible) {
 			return nil, count, err
 		}
@@ -128,22 +167,36 @@ func (o *Optimizer) searchExhaustive(q *qtree.Query, r transform.Rule, variants 
 // (§3.2): it fixes objects one at a time, keeping a transformation of
 // object i only if it lowers the cost given the decisions already made.
 // It evaluates N+1 states for binary objects.
-func (o *Optimizer) searchLinear(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+func (o *Optimizer) searchLinear(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker) (state, int, error) {
 	n := len(variants)
 	cur := make(state, n)
-	bestCost, err := o.evalState(q, r, cur, cache, 0, stats)
+	if tracker.reserve(1) == 0 {
+		return cur, 0, nil
+	}
+	bestCost, err := o.evalState(q, r, cur, cache, 0, stats, tracker)
 	if err != nil {
+		if errors.Is(err, errBudgetStop) || errors.Is(err, errInfeasible) {
+			return cur, 0, nil // degraded before the baseline: stay untransformed
+		}
 		return nil, 1, err
 	}
 	count := 1
 	for i := 0; i < n; i++ {
 		bestV := 0
 		for v := 1; v <= variants[i]; v++ {
+			if tracker.reserve(1) == 0 {
+				cur[i] = bestV
+				return cur, count, nil
+			}
 			trial := cur.clone()
 			trial[i] = v
-			cost, err := o.evalState(q, r, trial, cache, bestCost, stats)
+			cost, err := o.evalState(q, r, trial, cache, bestCost, stats, tracker)
 			if errors.Is(err, errInfeasible) {
 				continue
+			}
+			if errors.Is(err, errBudgetStop) {
+				cur[i] = bestV
+				return cur, count, nil
 			}
 			if err != nil {
 				return nil, count, err
@@ -161,20 +214,29 @@ func (o *Optimizer) searchLinear(q *qtree.Query, r transform.Rule, variants []in
 
 // searchTwoPass compares only the all-untransformed and all-transformed
 // states (§3.2).
-func (o *Optimizer) searchTwoPass(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+func (o *Optimizer) searchTwoPass(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker) (state, int, error) {
 	n := len(variants)
 	zero := make(state, n)
-	zeroCost, err := o.evalState(q, r, zero, cache, 0, stats)
+	if tracker.reserve(1) == 0 {
+		return zero, 0, nil
+	}
+	zeroCost, err := o.evalState(q, r, zero, cache, 0, stats, tracker)
 	if err != nil {
+		if errors.Is(err, errBudgetStop) || errors.Is(err, errInfeasible) {
+			return zero, 0, nil
+		}
 		return nil, 1, err
 	}
 	count := 1
+	if tracker.reserve(1) == 0 {
+		return zero, count, nil
+	}
 	all := make(state, n)
 	for i := range all {
 		all[i] = 1 // first variant of every object
 	}
-	allCost, err := o.evalState(q, r, all, cache, zeroCost, stats)
-	if errors.Is(err, errInfeasible) {
+	allCost, err := o.evalState(q, r, all, cache, zeroCost, stats, tracker)
+	if errors.Is(err, errInfeasible) || errors.Is(err, errBudgetStop) {
 		return zero, count, nil
 	}
 	if err != nil {
@@ -191,7 +253,7 @@ func (o *Optimizer) searchTwoPass(q *qtree.Query, r transform.Rule, variants []i
 // initial state, repeatedly move to a cheaper neighbour (one object
 // changed) until a local minimum; restart with a different initial state,
 // bounded by IterativeRestarts and IterativeMaxStates.
-func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats) (state, int, error) {
+func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker) (state, int, error) {
 	n := len(variants)
 	rng := rand.New(rand.NewSource(o.Opts.Seed))
 	seen := map[string]bool{}
@@ -205,7 +267,10 @@ func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants [
 			return 0, false, nil
 		}
 		seen[key] = true
-		cost, err := o.evalState(q, r, s, cache, bestCost, stats)
+		if tracker.reserve(1) == 0 {
+			return 0, false, errBudgetStop
+		}
+		cost, err := o.evalState(q, r, s, cache, bestCost, stats, tracker)
 		if errors.Is(err, errInfeasible) {
 			return math.Inf(1), true, nil
 		}
@@ -220,6 +285,9 @@ func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants [
 	zero := make(state, n)
 	cost, _, err := eval(zero)
 	if err != nil {
+		if errors.Is(err, errBudgetStop) {
+			return best, count, nil
+		}
 		return nil, count, err
 	}
 	best, bestCost = zero.clone(), cost
@@ -231,6 +299,9 @@ func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants [
 		}
 		curCost, fresh, err := eval(cur)
 		if err != nil {
+			if errors.Is(err, errBudgetStop) {
+				return best, count, nil
+			}
 			return nil, count, err
 		}
 		if !fresh {
@@ -249,6 +320,12 @@ func (o *Optimizer) searchIterative(q *qtree.Query, r transform.Rule, variants [
 					nb[i] = v
 					nbCost, fresh, err := eval(nb)
 					if err != nil {
+						if errors.Is(err, errBudgetStop) {
+							if curCost < bestCost {
+								best = cur.clone()
+							}
+							return best, count, nil
+						}
 						return nil, count, err
 					}
 					if fresh && nbCost < curCost {

@@ -54,11 +54,21 @@ func (s *aggState) add(v datum.Datum) error {
 			s.sum = sum
 		}
 	case qtree.AggMin:
-		if s.min.IsNull() || datum.MustCompare(v, s.min) < 0 {
+		if s.min.IsNull() {
+			s.min = v
+		} else if c, err := datum.Compare(v, s.min); err != nil {
+			// Mixed-kind inputs (e.g. a CASE over different types) are a
+			// query error, not a process panic.
+			return fmt.Errorf("exec: MIN(%s): %w", s.spec.Arg, err)
+		} else if c < 0 {
 			s.min = v
 		}
 	case qtree.AggMax:
-		if s.max.IsNull() || datum.MustCompare(v, s.max) > 0 {
+		if s.max.IsNull() {
+			s.max = v
+		} else if c, err := datum.Compare(v, s.max); err != nil {
+			return fmt.Errorf("exec: MAX(%s): %w", s.spec.Arg, err)
+		} else if c > 0 {
 			s.max = v
 		}
 	}

@@ -1,0 +1,63 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+)
+
+// TestRunContextCanceled: a cancelled context aborts execution with an
+// error naming the cancellation; an active context changes nothing.
+func TestRunContextCanceled(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	q, err := qtree.BindSQL(`SELECT e.emp_id FROM employees e WHERE e.salary > 0`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := optimizer.New(db.Catalog).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := RunContext(context.Background(), db, plan)
+	if err != nil {
+		t.Fatalf("RunContext(Background): %v", err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("query returned no rows")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, db, plan); err == nil {
+		t.Fatal("RunContext with a cancelled context succeeded")
+	} else if !strings.Contains(err.Error(), "canceled") {
+		t.Fatalf("cancellation error does not name the cause: %v", err)
+	}
+}
+
+// TestRunContextCanceledBlockingOperator: cancellation must also reach
+// plans whose top operators block (aggregation drains its child in Open),
+// because the poll sits in the leaf scans every row flows through.
+func TestRunContextCanceledBlockingOperator(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	q, err := qtree.BindSQL(
+		`SELECT e.dept_id, COUNT(*) c FROM employees e, job_history j
+		 WHERE e.emp_id = j.emp_id GROUP BY e.dept_id`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := optimizer.New(db.Catalog).Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, db, plan); err == nil {
+		t.Fatal("RunContext with a cancelled context succeeded through a blocking operator")
+	}
+}

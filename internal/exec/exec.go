@@ -10,6 +10,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,6 +56,27 @@ type env struct {
 	// SubqExecs counts subquery executions (cache misses); tests use it to
 	// verify TIS caching.
 	SubqExecs int
+	// ctx cancels execution mid-query; polled in the leaf scans, which
+	// every row ultimately flows through (blocking operators drain their
+	// inputs via scans too, so nested-loops re-scans, hash builds and sorts
+	// all observe cancellation).
+	ctx context.Context
+	// steps counts scan rows between cancellation polls.
+	steps uint
+}
+
+// checkCancel polls env.ctx every 64th scan step (and on the first one, so
+// cancellation is seen even on tiny tables).
+func (e *env) checkCancel() error {
+	if e.ctx != nil && e.steps&63 == 0 {
+		select {
+		case <-e.ctx.Done():
+			return fmt.Errorf("exec: query canceled: %w", e.ctx.Err())
+		default:
+		}
+	}
+	e.steps++
+	return nil
 }
 
 // iterator is the volcano operator interface.
@@ -73,7 +95,17 @@ type Result struct {
 
 // Run executes a plan against the database and returns all rows.
 func Run(db *storage.DB, plan *optimizer.Plan) (*Result, error) {
+	return RunContext(context.Background(), db, plan)
+}
+
+// RunContext is Run under a context: cancellation is polled in the volcano
+// loop and in the leaf scans, so a canceled context stops even executions
+// stuck inside a blocking operator's drain within a bounded number of rows.
+func RunContext(ctx context.Context, db *storage.DB, plan *optimizer.Plan) (*Result, error) {
 	e := &env{db: db, plan: plan, subqCache: map[*qtree.Subq]map[string]datum.Datum{}}
+	if ctx != nil && ctx != context.Background() {
+		e.ctx = ctx
+	}
 	it, err := build(e, plan.Root)
 	if err != nil {
 		return nil, err
@@ -84,6 +116,13 @@ func Run(db *storage.DB, plan *optimizer.Plan) (*Result, error) {
 	defer it.Close()
 	res := &Result{}
 	for {
+		if e.ctx != nil {
+			select {
+			case <-e.ctx.Done():
+				return nil, fmt.Errorf("exec: query canceled: %w", e.ctx.Err())
+			default:
+			}
+		}
 		r, err := it.Next()
 		if err != nil {
 			return nil, err

@@ -55,7 +55,15 @@ func (e *env) evalExpr(x qtree.Expr, ctx *Ctx) (datum.Datum, error) {
 		if s.IsNull() || p.IsNull() {
 			return datum.Null, nil
 		}
-		m := likeMatch(s.Str(), p.Str())
+		ss, err := s.AsStr()
+		if err != nil {
+			return datum.Null, fmt.Errorf("exec: LIKE operand %s: %w", v.E, err)
+		}
+		ps, err := p.AsStr()
+		if err != nil {
+			return datum.Null, fmt.Errorf("exec: LIKE pattern %s: %w", v.Pattern, err)
+		}
+		m := likeMatch(ss, ps)
 		if v.Neg {
 			m = !m
 		}
@@ -175,7 +183,15 @@ func (e *env) evalBin(v *qtree.Bin, ctx *Ctx) (datum.Datum, error) {
 		if l.IsNull() || r.IsNull() {
 			return datum.Null, nil
 		}
-		return datum.NewString(l.Str() + r.Str()), nil
+		ls, err := l.AsStr()
+		if err != nil {
+			return datum.Null, fmt.Errorf("exec: || operand %s: %w", v.L, err)
+		}
+		rs, err := r.AsStr()
+		if err != nil {
+			return datum.Null, fmt.Errorf("exec: || operand %s: %w", v.R, err)
+		}
+		return datum.NewString(ls + rs), nil
 	case qtree.OpNullSafeEq:
 		return datum.NewBool(datum.SameValue(l, r)), nil
 	default:

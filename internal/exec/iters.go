@@ -36,6 +36,9 @@ func (it *seqScanIter) Open(outer *Ctx) error {
 
 func (it *seqScanIter) Next() (Row, error) {
 	for it.pos < len(it.tbl.Rows) {
+		if err := it.e.checkCancel(); err != nil {
+			return nil, err
+		}
 		src := it.tbl.Rows[it.pos]
 		rowid := it.pos
 		it.pos++
@@ -125,6 +128,9 @@ func (it *indexScanIter) Open(outer *Ctx) error {
 
 func (it *indexScanIter) Next() (Row, error) {
 	for it.pos < len(it.match) {
+		if err := it.e.checkCancel(); err != nil {
+			return nil, err
+		}
 		rowid := it.match[it.pos]
 		it.pos++
 		src := it.tbl.Rows[rowid]

@@ -26,6 +26,7 @@ type subqRuntime struct {
 	inSet       map[string]bool
 	inAnyNull   bool // some row has a null in a compared column
 	statsDone   bool
+	statsBroken bool        // column mixes incomparable kinds; min/max unusable
 	minV, maxV  datum.Datum // single-column subqueries only
 	colHasNull  bool
 	colNonEmpty bool
@@ -168,7 +169,9 @@ func (rt *subqRuntime) buildInSet() {
 }
 
 // buildColStats prepares min/max over the first output column for
-// quantified comparisons.
+// quantified comparisons. A column mixing incomparable kinds (reachable
+// from user SQL via e.g. a CASE select item) marks the stats broken and the
+// caller falls back to the row scan instead of panicking.
 func (rt *subqRuntime) buildColStats() {
 	if rt.statsDone {
 		return
@@ -181,10 +184,20 @@ func (rt *subqRuntime) buildColStats() {
 			continue
 		}
 		rt.colNonEmpty = true
-		if rt.minV.IsNull() || datum.MustCompare(v, rt.minV) < 0 {
+		if rt.minV.IsNull() {
+			rt.minV = v
+		} else if c, err := datum.Compare(v, rt.minV); err != nil {
+			rt.statsBroken = true
+			return
+		} else if c < 0 {
 			rt.minV = v
 		}
-		if rt.maxV.IsNull() || datum.MustCompare(v, rt.maxV) > 0 {
+		if rt.maxV.IsNull() {
+			rt.maxV = v
+		} else if c, err := datum.Compare(v, rt.maxV); err != nil {
+			rt.statsBroken = true
+			return
+		} else if c > 0 {
 			rt.maxV = v
 		}
 	}
@@ -295,7 +308,9 @@ func (e *env) evalUncorrelated(s *qtree.Subq, rt *subqRuntime, ctx *Ctx, left Ro
 	case qtree.SubqAnyCmp, qtree.SubqAllCmp:
 		if len(left) == 1 {
 			rt.buildColStats()
-			return quantFromStats(s, rt, left[0]).Datum(), nil
+			if !rt.statsBroken {
+				return quantFromStats(s, rt, left[0]).Datum(), nil
+			}
 		}
 		return combineSubqRows(s, left, rows)
 	}
@@ -360,13 +375,24 @@ func quantFromStats(s *qtree.Subq, rt *subqRuntime, x datum.Datum) datum.TriBool
 			case qtree.OpGe:
 				verdict = cmp3(x, rt.minV, qtree.OpGe)
 			case qtree.OpNe:
-				// x <> ANY: true unless every value equals x.
-				verdict = datum.FromBool(datum.MustCompare(rt.minV, rt.maxV) != 0 ||
-					datum.MustCompare(x, rt.minV) != 0)
+				// x <> ANY: true unless every value equals x. An x of an
+				// incomparable kind leaves the comparison UNKNOWN, as the
+				// row scan would.
+				if mm, _ := datum.Compare(rt.minV, rt.maxV); mm != 0 {
+					verdict = datum.True
+				} else if xm, err := datum.Compare(x, rt.minV); err != nil {
+					verdict = datum.Unknown
+				} else {
+					verdict = datum.FromBool(xm != 0)
+				}
 			case qtree.OpEq:
-				verdict = datum.FromBool(
-					datum.MustCompare(x, rt.minV) >= 0 && datum.MustCompare(x, rt.maxV) <= 0 &&
-						scanEq(rt.rows, x))
+				lo, errLo := datum.Compare(x, rt.minV)
+				hi, errHi := datum.Compare(x, rt.maxV)
+				if errLo != nil || errHi != nil {
+					verdict = datum.Unknown
+				} else {
+					verdict = datum.FromBool(lo >= 0 && hi <= 0 && scanEq(rt.rows, x))
+				}
 			}
 		}
 		if verdict == datum.True {
@@ -396,8 +422,13 @@ func quantFromStats(s *qtree.Subq, rt *subqRuntime, x datum.Datum) datum.TriBool
 		case qtree.OpGe:
 			verdict = cmp3(x, rt.maxV, qtree.OpGe)
 		case qtree.OpEq:
-			verdict = datum.FromBool(datum.MustCompare(rt.minV, rt.maxV) == 0 &&
-				datum.MustCompare(x, rt.minV) == 0)
+			if mm, _ := datum.Compare(rt.minV, rt.maxV); mm != 0 {
+				verdict = datum.False
+			} else if xm, err := datum.Compare(x, rt.minV); err != nil {
+				verdict = datum.Unknown
+			} else {
+				verdict = datum.FromBool(xm == 0)
+			}
 		case qtree.OpNe:
 			verdict = datum.FromBool(!scanEq(rt.rows, x))
 		}
@@ -411,10 +442,14 @@ func quantFromStats(s *qtree.Subq, rt *subqRuntime, x datum.Datum) datum.TriBool
 	return verdict
 }
 
-// scanEq reports whether any first-column value equals x.
+// scanEq reports whether any first-column value equals x; values of a kind
+// incomparable with x count as not equal.
 func scanEq(rows []Row, x datum.Datum) bool {
 	for _, r := range rows {
-		if !r[0].IsNull() && datum.MustCompare(r[0], x) == 0 {
+		if r[0].IsNull() {
+			continue
+		}
+		if c, err := datum.Compare(r[0], x); err == nil && c == 0 {
 			return true
 		}
 	}

@@ -1,0 +1,213 @@
+// Package faultinject is a deterministic fault-injection harness for
+// robustness testing of the optimize path. A Set holds a schedule of faults,
+// each bound to a named site; code under test calls Fire(site) at its
+// injection points and the schedule decides whether to panic, return an
+// error, or sleep. Hit counting is per site and protected by a mutex, so a
+// schedule like "panic on every application of rule X" is deterministic at
+// any worker count: the decision depends only on the site name, never on
+// goroutine scheduling.
+//
+// Sites used by the optimizer stack:
+//
+//	state:<rule>   start of one transformation-state evaluation (cbqt)
+//	apply:<rule>   one object application of a transformation (cbqt)
+//	heuristics     one imperative heuristic pass (cbqt)
+//	cache:get      cost-annotation cache lookup (optimizer.CostCache)
+//	cache:put      cost-annotation cache store (optimizer.CostCache)
+//
+// A fault site pattern is either an exact site name or a prefix ending in
+// '*' ("apply:*" matches every transformation application).
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind selects what a fault does when it fires.
+type Kind int
+
+// The fault kinds.
+const (
+	// KindPanic panics with a recognizable message.
+	KindPanic Kind = iota
+	// KindError returns an error wrapping ErrInjected.
+	KindError
+	// KindDelay sleeps for the fault's Delay, then succeeds.
+	KindDelay
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindError:
+		return "error"
+	case KindDelay:
+		return "delay"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// ErrInjected is the sentinel wrapped by every KindError fault, so callers
+// and tests can distinguish injected failures from genuine ones.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// Fault is one scheduled fault.
+type Fault struct {
+	// Site is an exact site name, or a prefix pattern ending in '*'.
+	Site string
+	Kind Kind
+	// Hit fires the fault only on the n-th hit (1-based) of the site;
+	// 0 fires on every hit.
+	Hit int
+	// Delay is the sleep duration for KindDelay faults.
+	Delay time.Duration
+}
+
+func (f Fault) matches(site string, hit int) bool {
+	if f.Hit != 0 && f.Hit != hit {
+		return false
+	}
+	if strings.HasSuffix(f.Site, "*") {
+		return strings.HasPrefix(site, strings.TrimSuffix(f.Site, "*"))
+	}
+	return f.Site == site
+}
+
+// Event records one fault that fired, for test assertions.
+type Event struct {
+	Site string
+	Hit  int
+	Kind Kind
+}
+
+// Set is a schedule of faults with per-site hit counters. The zero Set and
+// the nil *Set are valid and never fire. Safe for concurrent use.
+type Set struct {
+	mu     sync.Mutex
+	faults []Fault
+	hits   map[string]int
+	events []Event
+}
+
+// New builds a schedule from explicit faults.
+func New(faults ...Fault) *Set {
+	return &Set{faults: faults, hits: map[string]int{}}
+}
+
+// Parse builds a schedule from a comma-separated spec, the grammar of the
+// cbqt CLI's -faults flag:
+//
+//	kind@site[#n]
+//
+// where kind is "panic", "error", or "delay(duration)", site is a site name
+// or prefix pattern, and #n restricts the fault to the n-th hit:
+//
+//	panic@apply:GroupByPlacement    panic on every GBP application
+//	error@state:UnnestSubquery#3    fail the 3rd unnesting state evaluation
+//	delay(2ms)@state:*              slow every state evaluation by 2ms
+func Parse(spec string) (*Set, error) {
+	s := New()
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kindStr, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: %q: want kind@site", part)
+		}
+		var f Fault
+		switch {
+		case kindStr == "panic":
+			f.Kind = KindPanic
+		case kindStr == "error":
+			f.Kind = KindError
+		case strings.HasPrefix(kindStr, "delay(") && strings.HasSuffix(kindStr, ")"):
+			d, err := time.ParseDuration(kindStr[len("delay(") : len(kindStr)-1])
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: %q: bad delay: %v", part, err)
+			}
+			f.Kind, f.Delay = KindDelay, d
+		default:
+			return nil, fmt.Errorf("faultinject: %q: unknown kind %q", part, kindStr)
+		}
+		site := rest
+		if at := strings.LastIndex(rest, "#"); at >= 0 {
+			n := 0
+			if _, err := fmt.Sscanf(rest[at+1:], "%d", &n); err != nil || n < 1 {
+				return nil, fmt.Errorf("faultinject: %q: bad hit number %q", part, rest[at+1:])
+			}
+			site, f.Hit = rest[:at], n
+		}
+		if site == "" {
+			return nil, fmt.Errorf("faultinject: %q: empty site", part)
+		}
+		f.Site = site
+		s.faults = append(s.faults, f)
+	}
+	return s, nil
+}
+
+// Fire records a hit of the site and applies the first matching fault:
+// KindPanic panics, KindError returns an error wrapping ErrInjected,
+// KindDelay sleeps and returns nil. A nil Set, and a site with no matching
+// fault, return nil immediately.
+func (s *Set) Fire(site string) error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.hits == nil {
+		s.hits = map[string]int{}
+	}
+	s.hits[site]++
+	hit := s.hits[site]
+	var fired *Fault
+	for i := range s.faults {
+		if s.faults[i].matches(site, hit) {
+			fired = &s.faults[i]
+			break
+		}
+	}
+	if fired != nil {
+		s.events = append(s.events, Event{Site: site, Hit: hit, Kind: fired.Kind})
+	}
+	s.mu.Unlock()
+	if fired == nil {
+		return nil
+	}
+	switch fired.Kind {
+	case KindPanic:
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, hit))
+	case KindError:
+		return fmt.Errorf("%w at %s (hit %d)", ErrInjected, site, hit)
+	case KindDelay:
+		time.Sleep(fired.Delay)
+	}
+	return nil
+}
+
+// Hits reports how many times the site has fired Fire (matching or not).
+func (s *Set) Hits(site string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits[site]
+}
+
+// Events returns the faults that actually fired, in firing order.
+func (s *Set) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}

@@ -1,0 +1,133 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	if err := s.Fire("anything"); err != nil {
+		t.Fatalf("nil set fired: %v", err)
+	}
+	if s.Hits("anything") != 0 || s.Events() != nil {
+		t.Fatal("nil set recorded state")
+	}
+}
+
+func TestErrorFault(t *testing.T) {
+	s := New(Fault{Site: "state:Unnest", Kind: KindError})
+	err := s.Fire("state:Unnest")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	if err := s.Fire("state:Other"); err != nil {
+		t.Fatalf("unmatched site fired: %v", err)
+	}
+	if got := len(s.Events()); got != 1 {
+		t.Fatalf("want 1 event, got %d", got)
+	}
+}
+
+func TestPanicFault(t *testing.T) {
+	s := New(Fault{Site: "apply:GBP", Kind: KindPanic})
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatal("no panic")
+		}
+		if !strings.Contains(p.(string), "injected panic at apply:GBP") {
+			t.Fatalf("unexpected panic payload %v", p)
+		}
+	}()
+	s.Fire("apply:GBP")
+}
+
+func TestHitTargeting(t *testing.T) {
+	s := New(Fault{Site: "state:X", Kind: KindError, Hit: 3})
+	for i := 1; i <= 5; i++ {
+		err := s.Fire("state:X")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+	}
+	if s.Hits("state:X") != 5 {
+		t.Fatalf("want 5 hits, got %d", s.Hits("state:X"))
+	}
+}
+
+func TestWildcardPrefix(t *testing.T) {
+	s := New(Fault{Site: "apply:*", Kind: KindError})
+	if err := s.Fire("apply:UnnestSubquery"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("wildcard did not match: %v", err)
+	}
+	if err := s.Fire("state:UnnestSubquery"); err != nil {
+		t.Fatalf("wildcard over-matched: %v", err)
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	s := New(Fault{Site: "state:X", Kind: KindDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := s.Fire("state:X"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay fault slept only %v", d)
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("panic@apply:GBP, error@state:Unnest#3, delay(2ms)@state:*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.faults) != 3 {
+		t.Fatalf("want 3 faults, got %d", len(s.faults))
+	}
+	want := []Fault{
+		{Site: "apply:GBP", Kind: KindPanic},
+		{Site: "state:Unnest", Kind: KindError, Hit: 3},
+		{Site: "state:*", Kind: KindDelay, Delay: 2 * time.Millisecond},
+	}
+	for i, f := range want {
+		if s.faults[i] != f {
+			t.Errorf("fault %d: got %+v want %+v", i, s.faults[i], f)
+		}
+	}
+	for _, bad := range []string{"panic", "boom@x", "panic@", "error@x#0", "delay(zz)@x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestConcurrentHitCounting(t *testing.T) {
+	s := New(Fault{Site: "state:X", Kind: KindError, Hit: 64})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	fired := 0
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if err := s.Fire("state:X"); err != nil {
+					mu.Lock()
+					fired++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if fired != 1 {
+		t.Fatalf("hit-targeted fault fired %d times, want exactly 1", fired)
+	}
+	if s.Hits("state:X") != 800 {
+		t.Fatalf("want 800 hits, got %d", s.Hits("state:X"))
+	}
+}

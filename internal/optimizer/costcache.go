@@ -1,12 +1,23 @@
 package optimizer
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
 
 // cacheShardCount is the number of independently locked shards of the
 // annotation cache. A power of two so the hash maps to a shard with a mask.
 // 32 shards keep lock contention negligible for any realistic worker count
 // (the CBQT driver bounds workers by GOMAXPROCS).
 const cacheShardCount = 32
+
+// DefaultCacheMaxEntries is the entry bound of NewCostCache: generous enough
+// that a single query's state-space search never evicts (Table 2's heaviest
+// search touches a few hundred distinct blocks), small enough that a
+// long-lived session reusing one cache cannot grow it without limit.
+const DefaultCacheMaxEntries = 1 << 16
 
 // CostCache is the cost-annotation store shared across transformation
 // states: canonical block rendering → cost annotation. Annotations are
@@ -20,13 +31,38 @@ const cacheShardCount = 32
 // optimize the block and both store the annotation; both store the same
 // value (annotations are a deterministic function of the canonical key), so
 // the duplication costs work, never correctness.
+//
+// Each shard is bounded by an entry cap and evicts with the second-chance
+// clock algorithm: entries carry a reference bit set on every hit, and the
+// clock hand sweeps the shard's ring clearing bits until it finds an unset
+// one — O(1) amortized, no per-hit list surgery, and an annotation hit in
+// the current search keeps the entry resident.
 type CostCache struct {
 	shards [cacheShardCount]cacheShard
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	bytes     atomic.Int64
+
+	// Faults, when non-nil, fires the "cache:get" / "cache:put" injection
+	// sites on every lookup and store. An injected error degrades the
+	// operation (a lookup misses, a store is dropped) — the cache is an
+	// accelerator, so faults cost work, never correctness.
+	Faults *faultinject.Set
 }
 
 type cacheShard struct {
-	mu      sync.RWMutex
-	entries map[string]costAnnotation
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	ring    []string // clock ring of resident keys
+	hand    int
+	limit   int // max entries; 0 = unbounded
+}
+
+type cacheEntry struct {
+	ann costAnnotation
+	ref bool
 }
 
 type costAnnotation struct {
@@ -34,11 +70,31 @@ type costAnnotation struct {
 	ndvs []float64
 }
 
-// NewCostCache creates an empty annotation cache.
+// entryBytes approximates the resident size of one cache entry.
+func entryBytes(key string, ann costAnnotation) int64 {
+	return int64(len(key)) + int64(16*len(ann.ndvs)) + 96
+}
+
+// NewCostCache creates an annotation cache bounded at DefaultCacheMaxEntries.
 func NewCostCache() *CostCache {
+	return NewCostCacheLimited(DefaultCacheMaxEntries)
+}
+
+// NewCostCacheLimited creates an annotation cache holding at most maxEntries
+// annotations (split evenly across shards). maxEntries <= 0 selects
+// DefaultCacheMaxEntries.
+func NewCostCacheLimited(maxEntries int) *CostCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultCacheMaxEntries
+	}
+	perShard := (maxEntries + cacheShardCount - 1) / cacheShardCount
+	if perShard < 1 {
+		perShard = 1
+	}
 	c := &CostCache{}
 	for i := range c.shards {
-		c.shards[i].entries = map[string]costAnnotation{}
+		c.shards[i].entries = map[string]*cacheEntry{}
+		c.shards[i].limit = perShard
 	}
 	return c
 }
@@ -54,18 +110,64 @@ func (c *CostCache) shard(key string) *cacheShard {
 }
 
 func (c *CostCache) get(key string) (costAnnotation, bool) {
+	if err := c.Faults.Fire("cache:get"); err != nil {
+		// Injected lookup failure: degrade to a miss.
+		c.misses.Add(1)
+		return costAnnotation{}, false
+	}
 	s := c.shard(key)
-	s.mu.RLock()
-	ann, ok := s.entries[key]
-	s.mu.RUnlock()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	var ann costAnnotation
+	if ok {
+		e.ref = true
+		ann = e.ann
+	}
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return ann, ok
 }
 
 func (c *CostCache) put(key string, ann costAnnotation) {
+	if err := c.Faults.Fire("cache:put"); err != nil {
+		return // injected store failure: drop the annotation
+	}
 	s := c.shard(key)
 	s.mu.Lock()
-	s.entries[key] = ann
-	s.mu.Unlock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		c.bytes.Add(entryBytes(key, ann) - entryBytes(key, e.ann))
+		e.ann = ann
+		e.ref = true
+		return
+	}
+	if s.limit > 0 && len(s.entries) >= s.limit {
+		// Clock sweep: give referenced entries a second chance, evict the
+		// first unreferenced one and reuse its ring slot.
+		for {
+			victimKey := s.ring[s.hand]
+			victim := s.entries[victimKey]
+			if victim.ref {
+				victim.ref = false
+				s.hand = (s.hand + 1) % len(s.ring)
+				continue
+			}
+			delete(s.entries, victimKey)
+			c.evictions.Add(1)
+			c.bytes.Add(-entryBytes(victimKey, victim.ann))
+			s.ring[s.hand] = key
+			s.hand = (s.hand + 1) % len(s.ring)
+			break
+		}
+	} else {
+		s.ring = append(s.ring, key)
+	}
+	s.entries[key] = &cacheEntry{ann: ann, ref: true}
+	c.bytes.Add(entryBytes(key, ann))
 }
 
 // Len reports the number of cached annotations.
@@ -73,9 +175,33 @@ func (c *CostCache) Len() int {
 	n := 0
 	for i := range c.shards {
 		s := &c.shards[i]
-		s.mu.RLock()
+		s.mu.Lock()
 		n += len(s.entries)
-		s.mu.RUnlock()
+		s.mu.Unlock()
 	}
 	return n
+}
+
+// ApproxBytes reports the approximate resident size of the cache, for the
+// CBQT memory budget.
+func (c *CostCache) ApproxBytes() int64 { return c.bytes.Load() }
+
+// CacheStats is a snapshot of the cache's work counters.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+}
+
+// CounterStats snapshots the hit/miss/eviction counters.
+func (c *CostCache) CounterStats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   c.Len(),
+		Bytes:     c.bytes.Load(),
+	}
 }

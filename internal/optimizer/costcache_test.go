@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -113,6 +114,83 @@ func TestCostCacheConcurrentStress(t *testing.T) {
 	// (duplicated concurrent misses overwrite the same key).
 	if cache.Len() > totalBlocks {
 		t.Errorf("cache holds %d annotations but only %d blocks were optimized", cache.Len(), totalBlocks)
+	}
+}
+
+// TestCostCacheEviction drives a tiny bounded cache far past its capacity
+// and checks that the clock eviction keeps the entry count at the bound,
+// accounts every eviction, and keeps the byte gauge consistent.
+func TestCostCacheEviction(t *testing.T) {
+	const maxEntries = 32 // one entry per shard
+	c := NewCostCacheLimited(maxEntries)
+	const puts = 400
+	for i := 0; i < puts; i++ {
+		c.put(fmt.Sprintf("select * from t%d", i), costAnnotation{cost: Cost{Total: float64(i)}})
+	}
+	if got := c.Len(); got > maxEntries {
+		t.Errorf("cache holds %d entries, bound is %d", got, maxEntries)
+	}
+	cs := c.CounterStats()
+	if cs.Evictions == 0 {
+		t.Error("no evictions after overfilling a bounded cache")
+	}
+	if int(cs.Evictions)+cs.Entries != puts {
+		t.Errorf("evictions (%d) + resident (%d) != puts (%d)", cs.Evictions, cs.Entries, puts)
+	}
+	if cs.Bytes <= 0 {
+		t.Errorf("byte gauge %d after %d resident entries", cs.Bytes, cs.Entries)
+	}
+
+	// A resident key must hit; an evicted or unknown key must miss.
+	hitsBefore, missesBefore := cs.Hits, cs.Misses
+	if _, ok := c.get(fmt.Sprintf("select * from t%d", puts-1)); !ok {
+		t.Error("most recently stored key was evicted")
+	}
+	if _, ok := c.get("select * from nowhere"); ok {
+		t.Error("unknown key reported as hit")
+	}
+	cs = c.CounterStats()
+	if cs.Hits != hitsBefore+1 || cs.Misses != missesBefore+1 {
+		t.Errorf("counters after 1 hit + 1 miss: hits %d->%d, misses %d->%d",
+			hitsBefore, cs.Hits, missesBefore, cs.Misses)
+	}
+}
+
+// TestCostCacheSecondChance: a referenced entry survives one eviction
+// sweep; the unreferenced one on the same shard is the victim.
+func TestCostCacheSecondChance(t *testing.T) {
+	c := NewCostCacheLimited(0) // default bound; direct shard manipulation below
+	s := &c.shards[0]
+	s.limit = 2
+	// Install two entries directly on shard 0 so the test is independent of
+	// the hash function.
+	put := func(key string, ref bool) {
+		s.entries[key] = &cacheEntry{ann: costAnnotation{}, ref: ref}
+		s.ring = append(s.ring, key)
+	}
+	put("keep", true)
+	put("victim", false)
+	s.mu.Lock()
+	// Inline the clock sweep the way put runs it.
+	for {
+		k := s.ring[s.hand]
+		e := s.entries[k]
+		if e.ref {
+			e.ref = false
+			s.hand = (s.hand + 1) % len(s.ring)
+			continue
+		}
+		delete(s.entries, k)
+		s.ring[s.hand] = "new"
+		s.entries["new"] = &cacheEntry{ann: costAnnotation{}, ref: true}
+		break
+	}
+	s.mu.Unlock()
+	if _, ok := s.entries["keep"]; !ok {
+		t.Error("referenced entry was evicted before the unreferenced one")
+	}
+	if _, ok := s.entries["victim"]; ok {
+		t.Error("unreferenced entry survived the sweep")
 	}
 }
 

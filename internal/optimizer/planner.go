@@ -1,9 +1,11 @@
 package optimizer
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/qtree"
@@ -12,6 +14,11 @@ import (
 // ErrCutoff is returned when optimization is aborted because the plan cost
 // exceeded the cut-off budget (§3.4.1).
 var ErrCutoff = errors.New("optimizer: cost exceeded cut-off budget")
+
+// ErrBudget is returned when optimization is aborted because the planner's
+// context was canceled or its deadline passed. The CBQT driver treats it as
+// "stop searching, keep the best state so far", never as a query failure.
+var ErrBudget = errors.New("optimizer: budget exhausted")
 
 // Counters accumulate optimizer work statistics; the CBQT experiments
 // (Table 1) read BlocksOptimized and CacheHits.
@@ -39,6 +46,13 @@ type Planner struct {
 	// given method wherever it is applicable — a debugging hint akin to
 	// Oracle's USE_NL/USE_HASH/USE_MERGE.
 	ForceJoin *JoinMethod
+	// Ctx, when non-nil, is polled at block-planning boundaries; a canceled
+	// context aborts optimization with ErrBudget.
+	Ctx context.Context
+	// Deadline, when non-zero, aborts optimization with ErrBudget once the
+	// wall clock passes it. Cheaper than a context for the per-state
+	// cost-only planners the CBQT search spawns in bulk.
+	Deadline time.Time
 
 	Counters Counters
 }
@@ -74,10 +88,29 @@ func (p *Planner) checkCutoff(c float64) error {
 	return nil
 }
 
+// checkBudget aborts when the planner's context is canceled or its deadline
+// has passed.
+func (p *Planner) checkBudget() error {
+	if p.Ctx != nil {
+		select {
+		case <-p.Ctx.Done():
+			return ErrBudget
+		default:
+		}
+	}
+	if !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
+		return ErrBudget
+	}
+	return nil
+}
+
 // planBlock plans one block. outFrom is the from-item ID under which the
 // enclosing block references this block's output (0 for the statement
 // root). It returns the plan node and the block info used for estimation.
 func (p *Planner) planBlock(q *qtree.Query, b *qtree.Block, outFrom qtree.FromID, plan *Plan) (PlanNode, blockInfo, error) {
+	if err := p.checkBudget(); err != nil {
+		return nil, blockInfo{}, err
+	}
 	if b.Set != nil {
 		return p.planSetOp(q, b, outFrom, plan)
 	}

@@ -488,6 +488,14 @@ func (bd *binder) bindExpr(e sql.Expr, sc *scope, allowAgg bool) (Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if op == OpConcat {
+			if err := checkStringOperand("||", l, sc); err != nil {
+				return nil, err
+			}
+			if err := checkStringOperand("||", r, sc); err != nil {
+				return nil, err
+			}
+		}
 		return &Bin{Op: op, L: l, R: r}, nil
 
 	case *sql.UnaryExpr:
@@ -557,6 +565,12 @@ func (bd *binder) bindExpr(e sql.Expr, sc *scope, allowAgg bool) (Expr, error) {
 		}
 		pat, err := bd.bindExpr(v.Pattern, sc, allowAgg)
 		if err != nil {
+			return nil, err
+		}
+		if err := checkStringOperand("LIKE", x, sc); err != nil {
+			return nil, err
+		}
+		if err := checkStringOperand("LIKE", pat, sc); err != nil {
 			return nil, err
 		}
 		return &Like{E: x, Pattern: pat, Neg: v.Not}, nil
@@ -929,6 +943,45 @@ func itemColOrdinal(f *FromItem, name string) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+// staticKind resolves the statically known kind of a bound expression:
+// literals, and column references that resolve to base-table columns.
+// ok is false when the kind cannot be determined at bind time (views,
+// computed expressions, NULL literals).
+func staticKind(e Expr, sc *scope) (kind datum.Kind, what string, ok bool) {
+	switch v := e.(type) {
+	case *Const:
+		if v.Val.IsNull() {
+			return datum.KNull, "", false
+		}
+		return v.Val.Kind(), v.Val.String(), true
+	case *Col:
+		for s := sc; s != nil; s = s.parent {
+			for _, f := range s.items {
+				if f.ID != v.From || f.Table == nil {
+					continue
+				}
+				if v.Ord >= 0 && v.Ord < len(f.Table.Cols) {
+					c := f.Table.Cols[v.Ord]
+					return c.Type, f.Table.Name + "." + c.Name, true
+				}
+				return datum.KNull, "", false // rowid
+			}
+		}
+	}
+	return datum.KNull, "", false
+}
+
+// checkStringOperand rejects operands of string-only operators (LIKE, ||)
+// whose kind is statically known to be non-string, so the mismatch is a
+// bind-time query error instead of a runtime one.
+func checkStringOperand(op string, e Expr, sc *scope) error {
+	k, what, ok := staticKind(e, sc)
+	if ok && k != datum.KString {
+		return fmt.Errorf("qtree: %s requires string operands: %s has type %s", op, what, k)
+	}
+	return nil
 }
 
 // bindOrderBy binds ORDER BY items against block b: select-list aliases

@@ -500,3 +500,72 @@ func removeDefined(b *Block, refs map[FromID]bool) {
 // IsCorrelated reports whether block b references from items defined
 // outside its own subtree.
 func (b *Block) IsCorrelated() bool { return len(b.OuterRefs()) > 0 }
+
+// AdoptFrom replaces q's tree with src's, transferring ownership of every
+// block (ID allocation runs through the owning query) to q. src is typically
+// a backup deep copy taken before a speculative mutation of q: restoring it
+// on failure makes transformation application all-or-nothing, which the
+// panic-isolation layer of package cbqt relies on. src must not be used
+// afterwards.
+func (q *Query) AdoptFrom(src *Query) {
+	q.Root = src.Root
+	q.nextFrom = src.nextFrom
+	q.nextBlk = src.nextBlk
+	q.reown(q.Root)
+}
+
+// reown points every block of the subtree back at q.
+func (q *Query) reown(b *Block) {
+	if b == nil {
+		return
+	}
+	b.query = q
+	if b.Set != nil {
+		for _, c := range b.Set.Children {
+			q.reown(c)
+		}
+	}
+	for _, f := range b.From {
+		if f.View != nil {
+			q.reown(f.View)
+		}
+	}
+	walkBlockExprs(b, func(e Expr) {
+		if s, ok := e.(*Subq); ok {
+			q.reown(s.Block)
+		}
+	})
+}
+
+// ApproxBytes is a rough estimate of the memory held by the query tree —
+// the unit of the cbqt memory budget, which charges one tree copy per
+// transformation state evaluated (§3.4.3's explicit memory management).
+func (q *Query) ApproxBytes() int64 {
+	var total int64
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		if b == nil {
+			return
+		}
+		total += 256 // block header, slices
+		if b.Set != nil {
+			for _, c := range b.Set.Children {
+				walk(c)
+			}
+		}
+		for _, f := range b.From {
+			total += 128 + int64(len(f.Alias))
+			if f.View != nil {
+				walk(f.View)
+			}
+		}
+		walkBlockExprs(b, func(e Expr) {
+			total += 48 // expr node
+			if s, ok := e.(*Subq); ok {
+				walk(s.Block)
+			}
+		})
+	}
+	walk(q.Root)
+	return total
+}

@@ -80,10 +80,29 @@ func TestBindErrors(t *testing.T) {
 		`SELECT UPPER(e.employee_name, 'x') FROM employees e`,
 		`SELECT e.emp_id FROM employees e UNION SELECT d.dept_id, d.loc_id FROM departments d`,
 		`SELECT e.emp_id + ROWNUM FROM employees e`,
+		`SELECT e.emp_id FROM employees e WHERE e.salary LIKE 'x%'`,     // LIKE on numeric column
+		`SELECT e.emp_id FROM employees e WHERE e.employee_name LIKE 5`, // numeric pattern
+		`SELECT e.salary || 'x' FROM employees e`,                       // || on numeric column
 	}
 	for _, src := range bad {
 		if _, err := BindSQL(src, db.Catalog); err == nil {
 			t.Errorf("BindSQL(%q) should fail", src)
+		}
+	}
+}
+
+func TestBindStringOperandOK(t *testing.T) {
+	// String-typed columns and literals pass the bind-time LIKE / || checks;
+	// kinds that cannot be resolved statically are left for runtime.
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	good := []string{
+		`SELECT e.emp_id FROM employees e WHERE e.employee_name LIKE 'A%'`,
+		`SELECT e.employee_name || '!' FROM employees e`,
+		`SELECT e.emp_id FROM employees e WHERE UPPER(e.employee_name) LIKE 'A%'`,
+	}
+	for _, src := range good {
+		if _, err := BindSQL(src, db.Catalog); err != nil {
+			t.Errorf("BindSQL(%q): %v", src, err)
 		}
 	}
 }
