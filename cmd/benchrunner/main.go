@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cbqt"
+	"repro/internal/obsv"
 	"repro/internal/storage"
 	"repro/internal/testkit"
 )
@@ -31,9 +32,15 @@ func main() {
 	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
 	parallel := flag.Int("parallel", 0, "CBQT state-evaluation workers for the figure experiments (0 = cbqt default)")
 	timeout := flag.Duration("timeout", 0, "per-query optimization deadline for the figure experiments (0 = none)")
+	metrics := flag.Bool("metrics", false, "dump the optimizer metrics delta after each experiment")
 	flag.Parse()
 	bench.Parallelism = *parallel
 	bench.Budget = cbqt.Budget{Timeout: *timeout}
+	var reg *obsv.Registry
+	if *metrics {
+		reg = obsv.NewRegistry()
+		bench.Metrics = reg
+	}
 
 	// Interrupt cancels the running experiment: searches degrade to their
 	// best plan so far and the next query execution aborts.
@@ -54,9 +61,16 @@ func main() {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		var before obsv.Snapshot
+		if reg != nil {
+			before = reg.Snapshot()
+		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
+		}
+		if reg != nil {
+			fmt.Printf("--- %s metrics ---\n%s\n", name, reg.Snapshot().Sub(before).Dump())
 		}
 	}
 

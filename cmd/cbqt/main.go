@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,12 +22,22 @@ import (
 	"repro/internal/cbqt"
 	"repro/internal/exec"
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/storage"
 	"repro/internal/testkit"
 	"repro/internal/transform"
 )
+
+// runConfig bundles the per-query output options.
+type runConfig struct {
+	run     bool
+	analyze bool
+	metrics bool
+	maxRows int
+	reg     *obsv.Registry
+}
 
 func main() {
 	size := flag.String("size", "small", "demo data size: small or medium")
@@ -35,7 +46,9 @@ func main() {
 	mode := flag.String("mode", "cost", "cost-based transformations: cost, heuristic, off")
 	run := flag.Bool("run", true, "execute the plan and print rows")
 	maxRows := flag.Int("max-rows", 20, "maximum result rows to print")
-	trace := flag.Bool("trace", false, "print every transformation state evaluated with its cost")
+	trace := flag.Bool("trace", false, "print the search trace as a tree and as JSONL events")
+	analyze := flag.Bool("analyze", false, "execute the plan with per-operator runtime counters (EXPLAIN ANALYZE)")
+	metrics := flag.Bool("metrics", false, "dump the cumulative metrics registry after each query")
 	parallel := flag.Int("parallel", 0, "state-evaluation workers: 0 = GOMAXPROCS, 1 = sequential search")
 	timeout := flag.Duration("timeout", 0, "per-query optimization deadline (0 = none); on expiry the best plan found so far is kept")
 	maxStates := flag.Int("max-states", 0, "cap on transformation states evaluated per query (0 = unlimited)")
@@ -54,8 +67,10 @@ func main() {
 		os.Exit(2)
 	}
 
+	reg := obsv.NewRegistry()
 	opts := cbqt.DefaultOptions()
 	opts.Trace = *trace
+	opts.Metrics = reg
 	if *parallel < 0 {
 		fmt.Fprintf(os.Stderr, "-parallel must be >= 0\n")
 		os.Exit(2)
@@ -68,6 +83,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "bad -faults: %v\n", err)
 			os.Exit(2)
 		}
+		fs.Metrics = reg
 		opts.Faults = fs
 	}
 	switch *strategy {
@@ -101,8 +117,9 @@ func main() {
 		os.Exit(2)
 	}
 
+	cfg := runConfig{run: *run, analyze: *analyze, metrics: *metrics, maxRows: *maxRows, reg: reg}
 	if flag.NArg() > 0 {
-		runQuery(db, strings.Join(flag.Args(), " "), opts, *run, *maxRows)
+		runQuery(db, strings.Join(flag.Args(), " "), opts, cfg)
 		return
 	}
 
@@ -120,7 +137,7 @@ func main() {
 			sql := strings.TrimSpace(buf.String())
 			buf.Reset()
 			if sql != "" {
-				runQuery(db, sql, opts, *run, *maxRows)
+				runQuery(db, sql, opts, cfg)
 			}
 			fmt.Print("cbqt> ")
 			continue
@@ -130,7 +147,7 @@ func main() {
 	}
 }
 
-func runQuery(db *storage.DB, sql string, opts cbqt.Options, execute bool, maxRows int) {
+func runQuery(db *storage.DB, sql string, opts cbqt.Options, cfg runConfig) {
 	q, err := qtree.BindSQL(sql, db.Catalog)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "error: %v\n", err)
@@ -159,24 +176,43 @@ func runQuery(db *storage.DB, sql string, opts cbqt.Options, execute bool, maxRo
 	if len(res.Stats.QuarantinedRules) > 0 {
 		fmt.Printf("-- quarantined rules: %s --\n", strings.Join(res.Stats.QuarantinedRules, ", "))
 	}
-	if len(res.Stats.Trace) > 0 {
-		fmt.Println("-- state space --")
-		for _, ev := range res.Stats.Trace {
-			fmt.Printf("   %-55s state (%s)  cost %.1f\n", ev.Rule, ev.State, ev.Cost)
-		}
+	if len(res.Stats.Events) > 0 {
+		fmt.Println("-- search trace --")
+		fmt.Print(obsv.RenderTree(res.Stats.Events))
+		fmt.Println("-- search trace (jsonl) --")
+		fmt.Print(obsv.MarshalJSONL(res.Stats.Events))
 	}
 	fmt.Println(res.Query.SQL())
-	fmt.Println("\n-- plan --")
-	fmt.Print(optimizer.Explain(res.Plan))
-	if !execute {
-		return
+	if cfg.run && cfg.analyze {
+		start = time.Now()
+		r, rs, err := exec.RunAnalyze(context.Background(), db, res.Plan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "exec error: %v\n", err)
+			return
+		}
+		fmt.Println("\n-- plan (analyzed) --")
+		fmt.Print(exec.ExplainAnalyze(res.Plan, rs, true))
+		printRows(r, start, cfg.maxRows)
+	} else {
+		fmt.Println("\n-- plan --")
+		fmt.Print(optimizer.Explain(res.Plan))
+		if cfg.run {
+			start = time.Now()
+			r, err := exec.Run(db, res.Plan)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "exec error: %v\n", err)
+				return
+			}
+			printRows(r, start, cfg.maxRows)
+		}
 	}
-	start = time.Now()
-	r, err := exec.Run(db, res.Plan)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "exec error: %v\n", err)
-		return
+	if cfg.metrics {
+		fmt.Println("-- metrics --")
+		fmt.Print(cfg.reg.Dump())
 	}
+}
+
+func printRows(r *exec.Result, start time.Time, maxRows int) {
 	fmt.Printf("\n-- %d rows in %s --\n", len(r.Rows), time.Since(start).Round(10*time.Microsecond))
 	for i, row := range r.Rows {
 		if i >= maxRows {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/cbqt"
+	"repro/internal/obsv"
 	"repro/internal/qtree"
 	"repro/internal/storage"
 )
@@ -23,14 +24,20 @@ var Parallelism int
 // the equivalence guard in Compare still holds.
 var Budget cbqt.Budget
 
+// Metrics, when non-nil, receives the cbqt.* and costcache.* counters of
+// every optimizer the experiments build (benchrunner's -metrics flag), so
+// per-experiment deltas can be dumped via obsv.Snapshot.Sub.
+var Metrics *obsv.Registry
+
 // defaultOptions is cbqt.DefaultOptions with the benchmark-wide
-// parallelism and budget overrides applied.
+// parallelism, budget and metrics overrides applied.
 func defaultOptions() cbqt.Options {
 	opts := cbqt.DefaultOptions()
 	if Parallelism > 0 {
 		opts.Parallelism = Parallelism
 	}
 	opts.Budget = Budget
+	opts.Metrics = Metrics
 	return opts
 }
 

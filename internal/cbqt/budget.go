@@ -88,6 +88,15 @@ func (e *TransformError) Error() string {
 
 func (e *TransformError) Unwrap() error { return e.Err }
 
+// class is the failure class carried in trace events: "panic" for recovered
+// panics, "error" for returned errors.
+func (e *TransformError) class() string {
+	if e.Panic != nil {
+		return "panic"
+	}
+	return "error"
+}
+
 // errBudgetStop tells a search loop to stop and return its best state so
 // far. Never escapes the cbqt package.
 var errBudgetStop = errors.New("cbqt: budget exhausted, stop search")

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/catalog"
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/transform"
@@ -100,9 +101,13 @@ type Options struct {
 	// (its mixed-radix key), never by completion order.
 	Parallelism int
 	// CostCutoff enables abandoning states whose cost exceeds the best
-	// found so far (§3.4.1). Under parallel evaluation the best-cost bound
-	// is shared across workers through an atomic; workers may observe a
-	// stale (higher) bound, which only reduces pruning, never correctness.
+	// found so far (§3.4.1). Under parallel evaluation each state prunes
+	// against the completed costs of the states that precede it in
+	// enumeration order (a prefix bound): workers may observe a later
+	// (higher) bound than the sequential search would hold, which only
+	// reduces pruning — never correctness, and never below what a
+	// sequential run prunes, keeping normalized search traces identical
+	// at every worker count.
 	CostCutoff bool
 	// AnnotationReuse enables reuse of query sub-tree cost annotations
 	// across states (§3.4.2).
@@ -121,8 +126,14 @@ type Options struct {
 	// Seed drives the iterative strategy's pseudo-random walk.
 	Seed int64
 	// Trace records every state evaluated (rule, state vector, cost) in
-	// Stats.Trace; used by the CLI's -trace flag and by examples.
+	// Stats.Trace, and the structured search-event stream in Stats.Events;
+	// used by the CLI's -trace flag, golden-trace tests and examples.
 	Trace bool
+	// Metrics, when non-nil, receives the optimization's work counters
+	// (cbqt.* names) and hosts the cost-annotation cache counters
+	// (costcache.*). The registry may be shared across queries: Stats
+	// snapshots its per-query deltas. Nil keeps the counters private.
+	Metrics *obsv.Registry
 	// Budget bounds the transformation search; the zero Budget is
 	// unlimited. Exhaustion degrades the search (Stats.Degraded says why)
 	// instead of failing the query.
@@ -168,6 +179,12 @@ type Stats struct {
 	OptimizeTime time.Duration
 	// Trace lists every state evaluated when Options.Trace is set.
 	Trace []StateEval
+	// Events is the structured search-event stream recorded when
+	// Options.Trace is set: rule headers, every state evaluation with its
+	// outcome, winners, quarantines and degradations, in state enumeration
+	// order (deterministic at every parallelism level; obsv.Normalize makes
+	// the serialized form byte-identical across worker counts).
+	Events []obsv.SearchEvent
 	// Degraded records why the search stopped early (empty: it completed).
 	Degraded DegradeReason
 	// TransformErrors lists transformation failures (recovered panics and
@@ -231,10 +248,18 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 	start := time.Now()
 	stats := Stats{StatesByRule: map[string]int{}}
 
+	// The cost-annotation cache counts its work in an obsv registry — the
+	// caller's (Options.Metrics) or a private one. The registry outlives the
+	// query, so per-query Stats are pre/post counter deltas.
 	var cache *optimizer.CostCache
+	var preHits, preMisses, preEvictions int64
 	if o.Opts.AnnotationReuse {
-		cache = optimizer.NewCostCacheLimited(o.Opts.CacheMaxEntries)
+		cache = optimizer.NewCostCacheIn(o.Opts.Metrics, o.Opts.CacheMaxEntries)
 		cache.Faults = o.Opts.Faults
+		m := cache.Metrics()
+		preHits = m.CounterValue(optimizer.MetricCacheHits)
+		preMisses = m.CounterValue(optimizer.MetricCacheMisses)
+		preEvictions = m.CounterValue(optimizer.MetricCacheEvictions)
 	}
 	tracker := newBudgetTracker(ctx, o.Opts.Budget, q, cache)
 
@@ -259,6 +284,9 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 			quarantined[rule] = true
 			stats.QuarantinedRules = append(stats.QuarantinedRules, rule)
 		}
+		o.traceEvent(&stats, obsv.SearchEvent{
+			Ev: obsv.EvQuarantine, Rule: rule, State: te.State, Reason: te.class(),
+		})
 	}
 	// safeFind quarantines rules whose object discovery panics.
 	safeFind := func(r transform.Rule) (n int) {
@@ -301,6 +329,9 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 			continue
 		}
 		strat := o.pickStrategy(n, totalObjects)
+		o.traceEvent(&stats, obsv.SearchEvent{
+			Ev: obsv.EvRule, Rule: r.Name(), Strategy: strat.String(), Objects: n,
+		})
 		best, states, err := o.search(q, r, n, strat, cache, &stats, tracker)
 		stats.StatesEvaluated += states
 		stats.StatesByRule[r.Name()] += states
@@ -315,17 +346,32 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 			return nil, err
 		}
 		// Transfer the winning directives onto the original tree (§3.1).
+		winner := obsv.WinnerUntransformed
 		if !best.isZero() {
 			if o.applyWinner(q, r, best, quarantine) {
 				tracker.noteDepth(weight(best))
+				winner = obsv.WinnerApplied
+			} else {
+				winner = obsv.WinnerRolledBack
 			}
 		}
+		o.traceEvent(&stats, obsv.SearchEvent{
+			Ev: obsv.EvWinner, Rule: r.Name(), State: stateKey(best), Outcome: winner,
+		})
 	}
 
 	stats.Degraded = tracker.degradeReason()
+	if stats.Degraded != DegradeNone {
+		o.traceEvent(&stats, obsv.SearchEvent{Ev: obsv.EvDegraded, Reason: string(stats.Degraded)})
+	}
 	if cache != nil {
-		cs := cache.CounterStats()
-		stats.CacheHits, stats.CacheMisses, stats.CacheEvictions = cs.Hits, cs.Misses, cs.Evictions
+		m := cache.Metrics()
+		stats.CacheHits = m.CounterValue(optimizer.MetricCacheHits) - preHits
+		stats.CacheMisses = m.CounterValue(optimizer.MetricCacheMisses) - preMisses
+		stats.CacheEvictions = m.CounterValue(optimizer.MetricCacheEvictions) - preEvictions
+	}
+	for i := range stats.Events {
+		stats.Events[i].Seq = i
 	}
 
 	// Final physical optimization of the chosen form. Its block count is
@@ -338,7 +384,46 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 		return nil, err
 	}
 	stats.OptimizeTime = time.Since(start)
+	o.publishMetrics(&stats)
 	return &Result{Query: q, Plan: plan, Stats: stats}, nil
+}
+
+// Metric names the driver publishes to Options.Metrics per optimization.
+// The degradation counter is suffixed with the reason, e.g.
+// "cbqt.degraded.state-cap".
+const (
+	MetricQueries         = "cbqt.queries"
+	MetricStates          = "cbqt.states"
+	MetricBlocks          = "cbqt.blocks"
+	MetricAnnotationHits  = "cbqt.annotation_hits"
+	MetricTransformErrors = "cbqt.transform_errors"
+	MetricQuarantines     = "cbqt.quarantines"
+	MetricDegradedPrefix  = "cbqt.degraded."
+	MetricOptimizeMS      = "cbqt.optimize_ms"
+)
+
+// publishMetrics folds one optimization's Stats into Options.Metrics (a
+// no-op on the nil registry).
+func (o *Optimizer) publishMetrics(stats *Stats) {
+	reg := o.Opts.Metrics
+	reg.Counter(MetricQueries).Inc()
+	reg.Counter(MetricStates).Add(int64(stats.StatesEvaluated))
+	reg.Counter(MetricBlocks).Add(int64(stats.BlocksOptimized))
+	reg.Counter(MetricAnnotationHits).Add(int64(stats.AnnotationHits))
+	reg.Counter(MetricTransformErrors).Add(int64(len(stats.TransformErrors)))
+	reg.Counter(MetricQuarantines).Add(int64(len(stats.QuarantinedRules)))
+	if stats.Degraded != DegradeNone {
+		reg.Counter(MetricDegradedPrefix + string(stats.Degraded)).Inc()
+	}
+	reg.Histogram(MetricOptimizeMS, 1, 10, 100, 1000, 10000).
+		Observe(float64(stats.OptimizeTime.Milliseconds()))
+}
+
+// traceEvent appends a structured search event when tracing is enabled.
+func (o *Optimizer) traceEvent(stats *Stats, e obsv.SearchEvent) {
+	if o.Opts.Trace {
+		stats.Events = append(stats.Events, e)
+	}
 }
 
 // protectedHeuristics runs the imperative transformation phase with panic
@@ -352,6 +437,7 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 			q.AdoptFrom(backup)
 			stats.TransformErrors = append(stats.TransformErrors,
 				&TransformError{Rule: "heuristics", Panic: p, Stack: stack()})
+			o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: obsv.OutcomeFault, Reason: "panic"})
 			err = nil
 		}
 	}()
@@ -360,10 +446,12 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 			q.AdoptFrom(backup)
 			stats.TransformErrors = append(stats.TransformErrors,
 				&TransformError{Rule: "heuristics", Err: herr})
+			o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: obsv.OutcomeFault, Reason: "injected"})
 			return nil
 		}
 		return herr
 	}
+	o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: "ok"})
 	return nil
 }
 

@@ -20,11 +20,17 @@ import (
 //
 //   - the §3.4.2 annotation cache is sharded with a mutex per shard
 //     (optimizer.CostCache);
-//   - the §3.4.1 cost cut-off propagates through an atomic best-cost bound
-//     (bestBound) that workers read before each evaluation — a stale bound
-//     only weakens pruning, never correctness, because the cut-off abandons
-//     only states whose partial cost already exceeds a fully evaluated
-//     state's cost;
+//   - the §3.4.1 cost cut-off propagates through a prefix bound
+//     (prefixBound): the cut-off a worker applies to state i is the minimum
+//     cost among the *already-completed states that precede i in
+//     enumeration order* (plus the batch seed). A sequential search prunes
+//     state i against the minimum over its whole enumeration prefix, so the
+//     parallel bound is never tighter — the parallel run fully costs a
+//     superset of the states the sequential run costs, and pruning can
+//     never hide the true winner. The surplus fully-costed states all cost
+//     more than the sequential bound at their position, which is exactly
+//     the run-dependent split obsv.Normalize collapses, making normalized
+//     search traces byte-identical at every worker count;
 //   - per-worker Stats counters and trace buffers are merged in state
 //     enumeration order, and the winner is the minimum-cost state with
 //     ties broken by enumeration order (the state's mixed-radix key),
@@ -47,31 +53,51 @@ func (o *Optimizer) parallelism() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// bestBound is the atomic, monotonically decreasing best-cost bound shared
-// by workers (§3.4.1). The float is stored as its IEEE-754 bit pattern;
-// all participating values are non-negative costs or +Inf, for which the
-// float ordering matches and CompareAndSwap is well defined.
-type bestBound struct{ bits atomic.Uint64 }
+// prefixBound is the deterministic §3.4.1 cost cut-off of one parallel
+// batch. Completed state costs are recorded per enumeration index, and the
+// bound applied to state i is min(seed, completed costs of states j < i) —
+// never the cost of a later-enumerated state, however early it completed.
+// That keeps every parallel bound at or above the sequential search's bound
+// at the same position, so the parallel run prunes a subset of what the
+// sequential run prunes and obsv.Normalize can reconcile the difference
+// exactly (see the package comment).
+type prefixBound struct {
+	seed  float64
+	mu    sync.Mutex
+	costs []float64 // +Inf until state j completes with a finite cost
+}
 
-func newBestBound(v float64) *bestBound {
-	b := &bestBound{}
-	b.bits.Store(math.Float64bits(v))
+func newPrefixBound(seed float64, n int) *prefixBound {
+	b := &prefixBound{seed: seed, costs: make([]float64, n)}
+	for i := range b.costs {
+		b.costs[i] = math.Inf(1)
+	}
 	return b
 }
 
-func (b *bestBound) get() float64 { return math.Float64frombits(b.bits.Load()) }
-
-// lower reduces the bound to c when c is smaller.
-func (b *bestBound) lower(c float64) {
-	for {
-		old := b.bits.Load()
-		if c >= math.Float64frombits(old) {
-			return
-		}
-		if b.bits.CompareAndSwap(old, math.Float64bits(c)) {
-			return
+// boundFor returns the cut-off for state i. Missing a concurrent completion
+// only raises the bound, which weakens pruning but never admits a bound the
+// sequential search would not have reached.
+func (b *prefixBound) boundFor(i int) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	m := b.seed
+	for j := 0; j < i && j < len(b.costs); j++ {
+		if b.costs[j] < m {
+			m = b.costs[j]
 		}
 	}
+	return m
+}
+
+// complete records state i's cost (+Inf for abandoned states is a no-op on
+// every later minimum).
+func (b *prefixBound) complete(i int, cost float64) {
+	b.mu.Lock()
+	if i >= 0 && i < len(b.costs) {
+		b.costs[i] = cost
+	}
+	b.mu.Unlock()
 }
 
 // stateEvalResult is one state's outcome from a parallel batch.
@@ -84,16 +110,16 @@ type stateEvalResult struct {
 // evalBatch evaluates the given states concurrently on up to par workers
 // and returns the per-state results in input order. Each worker records
 // its counters and trace into the result slot's private Stats, so no two
-// goroutines share a Stats value. bound seeds and propagates the cost
-// cut-off; it is lowered with every feasible state cost so later
-// evaluations prune against the best cost known so far.
+// goroutines share a Stats value. bound carries the deterministic prefix
+// cost cut-off: state i prunes against the completed costs of states
+// before it in enumeration order only.
 //
 // Every result slot starts as errBudgetStop and is overwritten when its
 // state is actually evaluated: a worker that stops claiming states (wall
 // clock expired) leaves the rest of the batch marked "skipped by budget",
 // never silently costed at zero. A panic escaping evalState's own recovery
 // is caught at the worker too, so the pool always drains.
-func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, cache *optimizer.CostCache, bound *bestBound, tracker *budgetTracker, par int) []stateEvalResult {
+func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, cache *optimizer.CostCache, bound *prefixBound, tracker *budgetTracker, par int) []stateEvalResult {
 	results := make([]stateEvalResult, len(states))
 	for i := range results {
 		results[i].err = errBudgetStop
@@ -122,9 +148,9 @@ func (o *Optimizer) evalBatch(q *qtree.Query, r transform.Rule, states []state, 
 					if tracker.expired() {
 						return // res.err stays errBudgetStop
 					}
-					res.cost, res.err = o.evalState(q, r, states[i], cache, bound.get(), &res.stats, tracker)
+					res.cost, res.err = o.evalState(q, r, states[i], cache, bound.boundFor(i), &res.stats, tracker)
 					if res.err == nil {
-						bound.lower(res.cost)
+						bound.complete(i, res.cost)
 					}
 				}()
 			}
@@ -147,6 +173,7 @@ func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost 
 		stats.BlocksOptimized += res.stats.BlocksOptimized
 		stats.AnnotationHits += res.stats.AnnotationHits
 		stats.Trace = append(stats.Trace, res.stats.Trace...)
+		stats.Events = append(stats.Events, res.stats.Events...)
 		stats.TransformErrors = append(stats.TransformErrors, res.stats.TransformErrors...)
 		if res.err != nil {
 			if !errors.Is(res.err, errInfeasible) && !errors.Is(res.err, errBudgetStop) && err == nil {
@@ -200,7 +227,7 @@ func (o *Optimizer) searchExhaustiveParallel(q *qtree.Query, r transform.Rule, v
 		return make(state, len(variants)), 0, nil
 	}
 	states = states[:granted]
-	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), tracker, par)
+	results := o.evalBatch(q, r, states, cache, newPrefixBound(math.Inf(1), len(states)), tracker, par)
 	bestIdx, _, count, err := mergeBatch(results, stats)
 	if err != nil {
 		return nil, count, err
@@ -246,7 +273,7 @@ func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, varia
 		capped := granted < len(trials)
 		trials = trials[:granted]
 		if granted > 0 {
-			results := o.evalBatch(q, r, trials, cache, newBestBound(bestCost), tracker, par)
+			results := o.evalBatch(q, r, trials, cache, newPrefixBound(bestCost, len(trials)), tracker, par)
 			bestIdx, cost, batchCount, err := mergeBatch(results, stats)
 			count += batchCount
 			if err != nil {
@@ -266,8 +293,10 @@ func (o *Optimizer) searchLinearParallel(q *qtree.Query, r transform.Rule, varia
 
 // searchTwoPassParallel evaluates the all-untransformed and all-transformed
 // states (§3.2) concurrently. Sequentially the zero state's cost seeds the
-// cut-off for the transformed state; in parallel both start unbounded and
-// whichever finishes first bounds the other — the comparison is unchanged.
+// cut-off for the transformed state; in parallel the prefix bound applies
+// the zero state's cost to the transformed state only once the zero state
+// has completed — never the reverse — so pruning stays a subset of the
+// sequential search's and the comparison is unchanged.
 func (o *Optimizer) searchTwoPassParallel(q *qtree.Query, r transform.Rule, variants []int, cache *optimizer.CostCache, stats *Stats, tracker *budgetTracker, par int) (state, int, error) {
 	n := len(variants)
 	zero := make(state, n)
@@ -280,7 +309,7 @@ func (o *Optimizer) searchTwoPassParallel(q *qtree.Query, r transform.Rule, vari
 		return zero, 0, nil
 	}
 	states := []state{zero, all}[:granted]
-	results := o.evalBatch(q, r, states, cache, newBestBound(math.Inf(1)), tracker, par)
+	results := o.evalBatch(q, r, states, cache, newPrefixBound(math.Inf(1), len(states)), tracker, par)
 	bestIdx, _, count, err := mergeBatch(results, stats)
 	if zerr := results[0].err; zerr != nil {
 		if errors.Is(zerr, errInfeasible) || errors.Is(zerr, errBudgetStop) {

@@ -11,19 +11,35 @@ import (
 	"repro/internal/transform"
 )
 
-func TestBestBound(t *testing.T) {
-	b := newBestBound(math.Inf(1))
-	if !math.IsInf(b.get(), 1) {
-		t.Fatalf("initial bound = %v", b.get())
+func TestPrefixBound(t *testing.T) {
+	b := newPrefixBound(math.Inf(1), 4)
+	if !math.IsInf(b.boundFor(3), 1) {
+		t.Fatalf("initial bound = %v", b.boundFor(3))
 	}
-	b.lower(10)
-	b.lower(20) // higher: ignored
-	if b.get() != 10 {
-		t.Errorf("bound = %v, want 10", b.get())
+	// A later state's completion must never tighten an earlier state's bound.
+	b.complete(2, 5)
+	if !math.IsInf(b.boundFor(1), 1) {
+		t.Errorf("bound for state 1 = %v after state 2 completed; want +Inf", b.boundFor(1))
 	}
-	b.lower(5)
-	if b.get() != 5 {
-		t.Errorf("bound = %v, want 5", b.get())
+	if got := b.boundFor(3); got != 5 {
+		t.Errorf("bound for state 3 = %v, want 5", got)
+	}
+	// The bound is the minimum over the completed prefix and the seed.
+	b.complete(0, 10)
+	if got := b.boundFor(1); got != 10 {
+		t.Errorf("bound for state 1 = %v, want 10", got)
+	}
+	if got := b.boundFor(3); got != 5 {
+		t.Errorf("bound for state 3 = %v, want 5", got)
+	}
+	// A finite seed participates in every bound.
+	s := newPrefixBound(7, 2)
+	if got := s.boundFor(1); got != 7 {
+		t.Errorf("seeded bound = %v, want 7", got)
+	}
+	s.complete(0, 3)
+	if got := s.boundFor(1); got != 3 {
+		t.Errorf("seeded bound after completion = %v, want 3", got)
 	}
 }
 

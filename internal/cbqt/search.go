@@ -4,8 +4,10 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"time"
 
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 	"repro/internal/transform"
@@ -24,22 +26,47 @@ var errInfeasible = errors.New("cbqt: state infeasible")
 // injected errors skip just this state, and a planner budget abort maps to
 // errBudgetStop ("stop searching, keep the best so far").
 func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *optimizer.CostCache, cutoff float64, stats *Stats, tracker *budgetTracker) (cost float64, err error) {
+	// stateEvent emits the state's EvState trace record. Exactly one fires
+	// per evaluation, at the return point that decided the outcome.
+	began := time.Time{}
+	if o.Opts.Trace {
+		began = time.Now()
+	}
+	stateEvent := func(outcome, reason string, c float64, blocks, hits int) {
+		if !o.Opts.Trace {
+			return
+		}
+		o.traceEvent(stats, obsv.SearchEvent{
+			Ev: obsv.EvState, Rule: r.Name(), State: stateKey(s),
+			Outcome: outcome, Reason: reason, Cost: c,
+			Blocks: blocks, CacheHits: hits,
+			ElapsedUS: time.Since(began).Microseconds(),
+		})
+	}
 	if !tracker.allowWeight(weight(s)) {
+		stateEvent(obsv.OutcomeInfeasible, "depth-cap", 0, 0, 0)
 		return 0, errInfeasible // deeper than the remaining depth budget
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			cost = 0
 			err = &TransformError{Rule: r.Name(), State: stateKey(s), Panic: p, Stack: stack()}
+			stateEvent(obsv.OutcomeFault, "panic", 0, 0, 0)
 		}
 	}()
 	if ferr := o.Opts.Faults.Fire("state:" + r.Name()); ferr != nil {
 		stats.TransformErrors = append(stats.TransformErrors,
 			&TransformError{Rule: r.Name(), State: stateKey(s), Err: ferr})
+		stateEvent(obsv.OutcomeFault, "injected", 0, 0, 0)
 		return 0, errInfeasible
 	}
 	clone, _ := q.Clone()
 	if aerr := o.applyState(clone, r, s); aerr != nil {
+		reason := "inapplicable"
+		if errors.Is(aerr, faultinject.ErrInjected) {
+			reason = "injected"
+		}
+		stateEvent(obsv.OutcomeInfeasible, reason, 0, 0, 0)
 		return 0, errInfeasible
 	}
 	if !o.Opts.SkipHeuristics && !s.isZero() {
@@ -47,6 +74,7 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 			if errors.Is(herr, faultinject.ErrInjected) {
 				stats.TransformErrors = append(stats.TransformErrors,
 					&TransformError{Rule: r.Name(), State: stateKey(s), Err: herr})
+				stateEvent(obsv.OutcomeFault, "injected", 0, 0, 0)
 				return 0, errInfeasible
 			}
 			return 0, herr
@@ -69,10 +97,12 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 			if o.Opts.Trace {
 				stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: math.Inf(1)})
 			}
+			stateEvent(obsv.OutcomeCut, "", 0, p.Counters.BlocksOptimized, p.Counters.CacheHits)
 			return math.Inf(1), nil
 		}
 		if errors.Is(perr, optimizer.ErrBudget) {
 			tracker.expired() // record deadline vs. canceled
+			stateEvent(obsv.OutcomeBudget, "wall-clock", 0, p.Counters.BlocksOptimized, p.Counters.CacheHits)
 			return 0, errBudgetStop
 		}
 		return 0, perr
@@ -80,6 +110,7 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 	if o.Opts.Trace {
 		stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: plan.Cost.Total})
 	}
+	stateEvent(obsv.OutcomeCosted, "", plan.Cost.Total, p.Counters.BlocksOptimized, p.Counters.CacheHits)
 	return plan.Cost.Total, nil
 }
 

@@ -229,4 +229,7 @@ func (it *aggIter) Next() (Row, error) {
 
 func (it *aggIter) Close() error { return it.child.Close() }
 
+// memBytes approximates the materialized group rows.
+func (it *aggIter) memBytes() int64 { return rowsBytes(it.out) }
+
 var _ = fmt.Sprintf // reserved for error formatting extensions

@@ -63,6 +63,9 @@ type env struct {
 	ctx context.Context
 	// steps counts scan rows between cancellation polls.
 	steps uint
+	// analyze, when non-nil, makes build wrap every operator with runtime
+	// counters (EXPLAIN ANALYZE).
+	analyze *RunStats
 }
 
 // checkCancel polls env.ctx every 64th scan step (and on the first one, so
@@ -102,11 +105,21 @@ func Run(db *storage.DB, plan *optimizer.Plan) (*Result, error) {
 // loop and in the leaf scans, so a canceled context stops even executions
 // stuck inside a blocking operator's drain within a bounded number of rows.
 func RunContext(ctx context.Context, db *storage.DB, plan *optimizer.Plan) (*Result, error) {
+	return runEnv(newEnv(ctx, db, plan))
+}
+
+// newEnv prepares the run-wide state for one execution.
+func newEnv(ctx context.Context, db *storage.DB, plan *optimizer.Plan) *env {
 	e := &env{db: db, plan: plan, subqCache: map[*qtree.Subq]map[string]datum.Datum{}}
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = ctx
 	}
-	it, err := build(e, plan.Root)
+	return e
+}
+
+// runEnv builds the iterator tree and drives the volcano loop to completion.
+func runEnv(e *env) (*Result, error) {
+	it, err := build(e, e.plan.Root)
 	if err != nil {
 		return nil, err
 	}
@@ -143,8 +156,22 @@ func colMap(cols []optimizer.ColID) map[optimizer.ColID]int {
 	return m
 }
 
-// build constructs the iterator tree for a plan node.
+// build constructs the iterator tree for a plan node, wrapping each
+// operator with runtime counters when the run is being analyzed.
 func build(e *env, n optimizer.PlanNode) (iterator, error) {
+	it, err := buildNode(e, n)
+	if err != nil || e.analyze == nil {
+		return it, err
+	}
+	st := e.analyze.Ops[n]
+	if st == nil {
+		st = &OpStats{}
+		e.analyze.Ops[n] = st
+	}
+	return &instrIter{child: it, st: st}, nil
+}
+
+func buildNode(e *env, n optimizer.PlanNode) (iterator, error) {
 	switch v := n.(type) {
 	case *optimizer.SeqScan:
 		return newSeqScan(e, v), nil

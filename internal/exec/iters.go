@@ -316,6 +316,9 @@ func (it *sortIter) Next() (Row, error) {
 
 func (it *sortIter) Close() error { return it.child.Close() }
 
+// memBytes approximates the sorted materialization.
+func (it *sortIter) memBytes() int64 { return rowsBytes(it.rows) }
+
 // limitIter returns the first n rows.
 type limitIter struct {
 	child iterator
@@ -370,6 +373,15 @@ func (it *distinctIter) Next() (Row, error) {
 }
 
 func (it *distinctIter) Close() error { return it.child.Close() }
+
+// memBytes approximates the duplicate-elimination key set.
+func (it *distinctIter) memBytes() int64 {
+	var b int64
+	for k := range it.seen {
+		b += 48 + int64(len(k))
+	}
+	return b
+}
 
 // setOpIter evaluates UNION [ALL] / INTERSECT / MINUS.
 type setOpIter struct {
@@ -503,3 +515,6 @@ func (it *setOpIter) Close() error {
 	}
 	return nil
 }
+
+// memBytes approximates the materialized set-operation result.
+func (it *setOpIter) memBytes() int64 { return rowsBytes(it.out) }

@@ -407,6 +407,19 @@ func (it *nlJoinIter) Close() error {
 	return it.r.Close()
 }
 
+// memBytes approximates the materialized right side plus the lateral and
+// semi/anti verdict caches.
+func (it *nlJoinIter) memBytes() int64 {
+	b := rowsBytes(it.matRight)
+	for k, rows := range it.lateralCache {
+		b += 48 + int64(len(k)) + rowsBytes(rows)
+	}
+	for k := range it.verdictCache {
+		b += 48 + int64(len(k)) + 1
+	}
+	return b
+}
+
 // hashJoinIter builds a hash table on the right input keyed by EqR and
 // probes with left rows keyed by EqL.
 type hashJoinIter struct {
@@ -643,6 +656,15 @@ func (it *hashJoinIter) Close() error {
 	return it.r.Close()
 }
 
+// memBytes approximates the build side: rows plus hash-table buckets.
+func (it *hashJoinIter) memBytes() int64 {
+	b := rowsBytes(it.buildRows)
+	for k, bucket := range it.table {
+		b += 48 + int64(len(k)) + 8*int64(len(bucket))
+	}
+	return b
+}
+
 // mergeJoinIter sorts both inputs by the equi keys and merges (inner join).
 type mergeJoinIter struct {
 	e    *env
@@ -808,4 +830,10 @@ func compareKeyRows(a, b Row) int {
 func (it *mergeJoinIter) Close() error {
 	it.l.Close()
 	return it.r.Close()
+}
+
+// memBytes approximates both sorted sides with their key columns.
+func (it *mergeJoinIter) memBytes() int64 {
+	return rowsBytes(it.lRows) + rowsBytes(it.rRows) +
+		rowsBytes(it.lKeys) + rowsBytes(it.rKeys)
 }

@@ -221,3 +221,6 @@ func (it *windowIter) Next() (Row, error) {
 }
 
 func (it *windowIter) Close() error { return it.child.Close() }
+
+// memBytes approximates the materialized input plus appended results.
+func (it *windowIter) memBytes() int64 { return rowsBytes(it.out) }

@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obsv"
 )
 
 // Kind selects what a fault does when it fires.
@@ -85,9 +87,24 @@ type Event struct {
 	Kind Kind
 }
 
+// The metric names a Set publishes when Metrics is set.
+const (
+	// MetricHits counts every Fire call, matching a fault or not.
+	MetricHits = "faultinject.hits"
+	// MetricFired counts faults that actually fired.
+	MetricFired = "faultinject.fired"
+	// MetricSitePrefix prefixes the per-site fired counters
+	// ("faultinject.site.state:UnnestSubquery").
+	MetricSitePrefix = "faultinject.site."
+)
+
 // Set is a schedule of faults with per-site hit counters. The zero Set and
 // the nil *Set are valid and never fire. Safe for concurrent use.
 type Set struct {
+	// Metrics, when non-nil, receives the faultinject.* counters. Set it
+	// before the schedule is shared with other goroutines.
+	Metrics *obsv.Registry
+
 	mu     sync.Mutex
 	faults []Fault
 	hits   map[string]int
@@ -178,9 +195,12 @@ func (s *Set) Fire(site string) error {
 		s.events = append(s.events, Event{Site: site, Hit: hit, Kind: fired.Kind})
 	}
 	s.mu.Unlock()
+	s.Metrics.Counter(MetricHits).Inc()
 	if fired == nil {
 		return nil
 	}
+	s.Metrics.Counter(MetricFired).Inc()
+	s.Metrics.Counter(MetricSitePrefix + site).Inc()
 	switch fired.Kind {
 	case KindPanic:
 		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", site, hit))

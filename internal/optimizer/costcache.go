@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/faultinject"
+	"repro/internal/obsv"
 )
 
 // cacheShardCount is the number of independently locked shards of the
@@ -40,9 +41,15 @@ const DefaultCacheMaxEntries = 1 << 16
 type CostCache struct {
 	shards [cacheShardCount]cacheShard
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	evictions atomic.Int64
+	// Work counters live in an obsv.Registry (the cache's own, or one shared
+	// with the whole optimization via NewCostCacheIn) under the Metric*
+	// names; reg is their single source of truth. bytes stays a private
+	// atomic because ApproxBytes sits on the CBQT memory-budget hot path.
+	reg       *obsv.Registry
+	hits      *obsv.Counter
+	misses    *obsv.Counter
+	evictions *obsv.Counter
+	bytesG    *obsv.Gauge
 	bytes     atomic.Int64
 
 	// Faults, when non-nil, fires the "cache:get" / "cache:put" injection
@@ -75,6 +82,14 @@ func entryBytes(key string, ann costAnnotation) int64 {
 	return int64(len(key)) + int64(16*len(ann.ndvs)) + 96
 }
 
+// The cache's metric names in its obsv.Registry.
+const (
+	MetricCacheHits      = "costcache.hits"
+	MetricCacheMisses    = "costcache.misses"
+	MetricCacheEvictions = "costcache.evictions"
+	MetricCacheBytes     = "costcache.bytes"
+)
+
 // NewCostCache creates an annotation cache bounded at DefaultCacheMaxEntries.
 func NewCostCache() *CostCache {
 	return NewCostCacheLimited(DefaultCacheMaxEntries)
@@ -84,20 +99,40 @@ func NewCostCache() *CostCache {
 // annotations (split evenly across shards). maxEntries <= 0 selects
 // DefaultCacheMaxEntries.
 func NewCostCacheLimited(maxEntries int) *CostCache {
+	return NewCostCacheIn(nil, maxEntries)
+}
+
+// NewCostCacheIn is NewCostCacheLimited with the cache's work counters
+// registered in reg under the Metric* names; nil reg gives the cache a
+// private registry. Callers sharing reg across caches or queries should
+// snapshot the counters and diff (obsv.Snapshot.Sub) to attribute work.
+func NewCostCacheIn(reg *obsv.Registry, maxEntries int) *CostCache {
 	if maxEntries <= 0 {
 		maxEntries = DefaultCacheMaxEntries
+	}
+	if reg == nil {
+		reg = obsv.NewRegistry()
 	}
 	perShard := (maxEntries + cacheShardCount - 1) / cacheShardCount
 	if perShard < 1 {
 		perShard = 1
 	}
-	c := &CostCache{}
+	c := &CostCache{
+		reg:       reg,
+		hits:      reg.Counter(MetricCacheHits),
+		misses:    reg.Counter(MetricCacheMisses),
+		evictions: reg.Counter(MetricCacheEvictions),
+		bytesG:    reg.Gauge(MetricCacheBytes),
+	}
 	for i := range c.shards {
 		c.shards[i].entries = map[string]*cacheEntry{}
 		c.shards[i].limit = perShard
 	}
 	return c
 }
+
+// Metrics returns the registry holding the cache's work counters.
+func (c *CostCache) Metrics() *obsv.Registry { return c.reg }
 
 // shard selects the shard for a key (FNV-1a over the key bytes).
 func (c *CostCache) shard(key string) *cacheShard {
@@ -139,6 +174,7 @@ func (c *CostCache) put(key string, ann costAnnotation) {
 	s := c.shard(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer func() { c.bytesG.Set(c.bytes.Load()) }()
 	if e, ok := s.entries[key]; ok {
 		c.bytes.Add(entryBytes(key, ann) - entryBytes(key, e.ann))
 		e.ann = ann
@@ -185,23 +221,3 @@ func (c *CostCache) Len() int {
 // ApproxBytes reports the approximate resident size of the cache, for the
 // CBQT memory budget.
 func (c *CostCache) ApproxBytes() int64 { return c.bytes.Load() }
-
-// CacheStats is a snapshot of the cache's work counters.
-type CacheStats struct {
-	Hits      int64
-	Misses    int64
-	Evictions int64
-	Entries   int
-	Bytes     int64
-}
-
-// CounterStats snapshots the hit/miss/eviction counters.
-func (c *CostCache) CounterStats() CacheStats {
-	return CacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   c.Len(),
-		Bytes:     c.bytes.Load(),
-	}
-}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/obsv"
 	"repro/internal/qtree"
 )
 
@@ -119,10 +120,12 @@ func TestCostCacheConcurrentStress(t *testing.T) {
 
 // TestCostCacheEviction drives a tiny bounded cache far past its capacity
 // and checks that the clock eviction keeps the entry count at the bound,
-// accounts every eviction, and keeps the byte gauge consistent.
+// accounts every eviction in the metrics registry, and keeps the byte gauge
+// consistent.
 func TestCostCacheEviction(t *testing.T) {
 	const maxEntries = 32 // one entry per shard
-	c := NewCostCacheLimited(maxEntries)
+	reg := obsv.NewRegistry()
+	c := NewCostCacheIn(reg, maxEntries)
 	const puts = 400
 	for i := 0; i < puts; i++ {
 		c.put(fmt.Sprintf("select * from t%d", i), costAnnotation{cost: Cost{Total: float64(i)}})
@@ -130,29 +133,29 @@ func TestCostCacheEviction(t *testing.T) {
 	if got := c.Len(); got > maxEntries {
 		t.Errorf("cache holds %d entries, bound is %d", got, maxEntries)
 	}
-	cs := c.CounterStats()
-	if cs.Evictions == 0 {
+	evictions := reg.CounterValue(MetricCacheEvictions)
+	if evictions == 0 {
 		t.Error("no evictions after overfilling a bounded cache")
 	}
-	if int(cs.Evictions)+cs.Entries != puts {
-		t.Errorf("evictions (%d) + resident (%d) != puts (%d)", cs.Evictions, cs.Entries, puts)
+	if int(evictions)+c.Len() != puts {
+		t.Errorf("evictions (%d) + resident (%d) != puts (%d)", evictions, c.Len(), puts)
 	}
-	if cs.Bytes <= 0 {
-		t.Errorf("byte gauge %d after %d resident entries", cs.Bytes, cs.Entries)
+	if bytes := reg.Snapshot().Gauges[MetricCacheBytes]; bytes <= 0 || bytes != c.ApproxBytes() {
+		t.Errorf("byte gauge %d, ApproxBytes %d", bytes, c.ApproxBytes())
 	}
 
 	// A resident key must hit; an evicted or unknown key must miss.
-	hitsBefore, missesBefore := cs.Hits, cs.Misses
+	hitsBefore := reg.CounterValue(MetricCacheHits)
+	missesBefore := reg.CounterValue(MetricCacheMisses)
 	if _, ok := c.get(fmt.Sprintf("select * from t%d", puts-1)); !ok {
 		t.Error("most recently stored key was evicted")
 	}
 	if _, ok := c.get("select * from nowhere"); ok {
 		t.Error("unknown key reported as hit")
 	}
-	cs = c.CounterStats()
-	if cs.Hits != hitsBefore+1 || cs.Misses != missesBefore+1 {
+	if h, m := reg.CounterValue(MetricCacheHits), reg.CounterValue(MetricCacheMisses); h != hitsBefore+1 || m != missesBefore+1 {
 		t.Errorf("counters after 1 hit + 1 miss: hits %d->%d, misses %d->%d",
-			hitsBefore, cs.Hits, missesBefore, cs.Misses)
+			hitsBefore, h, missesBefore, m)
 	}
 }
 

@@ -9,16 +9,26 @@ import (
 
 // Explain renders the plan as an indented operator tree with cost
 // annotations, similar to EXPLAIN PLAN output.
-func Explain(p *Plan) string {
+func Explain(p *Plan) string { return ExplainWith(p, nil) }
+
+// ExplainWith is Explain with a per-node annotation hook: annotate's return
+// value is appended verbatim to the node's line. A nil annotate renders the
+// plain cost tree; package exec uses the hook to attach EXPLAIN ANALYZE
+// runtime counters without the optimizer knowing about execution.
+func ExplainWith(p *Plan, annotate func(PlanNode) string) string {
 	var sb strings.Builder
-	explainNode(&sb, p, p.Root, 0)
+	explainNode(&sb, p, p.Root, 0, annotate)
 	return sb.String()
 }
 
-func explainNode(sb *strings.Builder, p *Plan, n PlanNode, depth int) {
+func explainNode(sb *strings.Builder, p *Plan, n PlanNode, depth int, annotate func(PlanNode) string) {
 	indent := strings.Repeat("  ", depth)
 	c := n.Cost()
-	fmt.Fprintf(sb, "%s%s  (cost=%.1f rows=%.0f)\n", indent, describe(n), c.Total, c.Rows)
+	extra := ""
+	if annotate != nil {
+		extra = annotate(n)
+	}
+	fmt.Fprintf(sb, "%s%s  (cost=%.1f rows=%.0f)%s\n", indent, describe(n), c.Total, c.Rows, extra)
 	// Subplans referenced by this node's predicates.
 	for _, e := range nodePreds(n) {
 		qtree.WalkExpr(e, func(x qtree.Expr) bool {
@@ -26,7 +36,7 @@ func explainNode(sb *strings.Builder, p *Plan, n PlanNode, depth int) {
 				if sp, ok := p.Subplans[s]; ok {
 					fmt.Fprintf(sb, "%s  SubPlan [%s] (per-exec=%.1f effective-execs=%.0f)\n",
 						indent, s.Kind, sp.PerExec, sp.EffectiveExecs)
-					explainNode(sb, p, sp.Root, depth+2)
+					explainNode(sb, p, sp.Root, depth+2, annotate)
 				}
 				return false
 			}
@@ -34,7 +44,7 @@ func explainNode(sb *strings.Builder, p *Plan, n PlanNode, depth int) {
 		})
 	}
 	for _, ch := range n.Children() {
-		explainNode(sb, p, ch, depth+1)
+		explainNode(sb, p, ch, depth+1, annotate)
 	}
 }
 

@@ -42,6 +42,13 @@ var tableCols = map[string][]string{
 	"SALES":       {"SALE_ID", "EMP_ID", "DEPT_ID", "AMOUNT", "COUNTRY_ID"},
 }
 
+// numericCol is a representative numeric column per table, used for
+// aggregate and window-function arguments.
+var numericCol = map[string]string{
+	"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
+	"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
+}
+
 type boundTable struct {
 	table string
 	alias string
@@ -175,23 +182,79 @@ func (g *randGen) subqueryFor() string {
 			outer.alias, outCol, sa, subCol, subTab, sa, subFilter)
 	default:
 		// Correlated scalar aggregate over a numeric column.
-		num := map[string]string{
-			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
-			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
-		}[subTab]
-		outNum := map[string]string{
-			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
-			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
-		}[outer.table]
+		num := numericCol[subTab]
+		outNum := numericCol[outer.table]
 		return fmt.Sprintf("%s.%s > (SELECT AVG(%s.%s) FROM %s %s WHERE %s.%s = %s.%s)",
 			outer.alias, outNum, sa, num, subTab, sa, sa, subCol, outer.alias, outCol)
 	}
+}
+
+// windowItem returns a random analytic select item. Only aggregate window
+// functions are generated: their values depend on partition membership and
+// RANGE-peer groups, never on physical row order, so every plan shape the
+// optimizer picks produces the same values (ROW_NUMBER over a non-unique
+// key would not).
+func (g *randGen) windowItem(name string) string {
+	bt := g.tables[g.rng.Intn(len(g.tables))]
+	pcol := g.pick(tableCols[bt.table])
+	num := numericCol[bt.table]
+	switch g.rng.Intn(3) {
+	case 0:
+		return fmt.Sprintf("COUNT(*) OVER (PARTITION BY %s.%s) %s", bt.alias, pcol, name)
+	case 1:
+		fn := g.pick([]string{"SUM", "AVG", "MIN", "MAX"})
+		return fmt.Sprintf("%s(%s.%s) OVER (PARTITION BY %s.%s) %s",
+			fn, bt.alias, num, bt.alias, pcol, name)
+	default:
+		// Running aggregate: the RANGE frame ends at the current row's
+		// ORDER BY peers, so ties share one value and the result stays
+		// order-independent.
+		ot := g.tables[g.rng.Intn(len(g.tables))]
+		ocol := g.pick(tableCols[ot.table])
+		fn := g.pick([]string{"SUM", "AVG", "COUNT"})
+		return fmt.Sprintf("%s(%s.%s) OVER (PARTITION BY %s.%s ORDER BY %s.%s RANGE BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) %s",
+			fn, bt.alias, num, bt.alias, pcol, ot.alias, ocol, name)
+	}
+}
+
+// setOpQuery generates a set operation whose branches project one column
+// each from the two sides of a join edge, so the branch schemas are
+// compatible and the value domains overlap (INTERSECT and MINUS stay
+// non-trivial).
+func (g *randGen) setOpQuery() string {
+	e := schemaEdges[g.rng.Intn(len(schemaEdges))]
+	op := g.pick([]string{"UNION", "UNION ALL", "INTERSECT", "MINUS"})
+	left := g.setOpBranch(e.t1, e.c1)
+	right := g.setOpBranch(e.t2, e.c2)
+	return left + " " + op + " " + right
+}
+
+// setOpBranch builds one branch: the anchor table (optionally joined to a
+// neighbour, optionally filtered) projecting the given column.
+func (g *randGen) setOpBranch(table, col string) string {
+	g.tables = nil
+	g.where = nil
+	bt := boundTable{table: table, alias: g.alias(table)}
+	g.tables = append(g.tables, bt)
+	if g.rng.Intn(2) == 0 {
+		g.addTable()
+	}
+	if g.rng.Intn(2) == 0 {
+		target := g.tables[g.rng.Intn(len(g.tables))]
+		g.where = append(g.where, g.filterFor(target))
+	}
+	return fmt.Sprintf("SELECT %s.%s c0%s", bt.alias, col, g.fromWhere())
 }
 
 func (g *randGen) query() string {
 	g.tables = nil
 	g.where = nil
 	g.nAlias = 0
+
+	// Set operations replace the whole query shape.
+	if g.rng.Intn(6) == 0 {
+		return g.setOpQuery()
+	}
 
 	nTables := g.rng.Intn(3) + 1
 	for i := 0; i < nTables; i++ {
@@ -223,10 +286,7 @@ func (g *randGen) query() string {
 		gcol := g.pick(tableCols[bt.table])
 		agg := g.pick([]string{"COUNT(*)", "SUM", "AVG", "MIN", "MAX"})
 		aggTab := g.tables[g.rng.Intn(len(g.tables))]
-		num := map[string]string{
-			"EMPLOYEES": "SALARY", "DEPARTMENTS": "BUDGET", "LOCATIONS": "LOC_ID",
-			"JOB_HISTORY": "JOB_ID", "JOBS": "MIN_SALARY", "SALES": "AMOUNT",
-		}[aggTab.table]
+		num := numericCol[aggTab.table]
 		if agg == "COUNT(*)" {
 			fmt.Fprintf(&sb, "%s.%s g0, COUNT(*) c0", bt.alias, gcol)
 		} else {
@@ -236,7 +296,8 @@ func (g *randGen) query() string {
 		fmt.Fprintf(&sb, " GROUP BY %s.%s", bt.alias, gcol)
 		return sb.String()
 	}
-	if g.rng.Intn(6) == 0 {
+	distinct := g.rng.Intn(6) == 0
+	if distinct {
 		sb.WriteString("DISTINCT ")
 	}
 	nCols := g.rng.Intn(2) + 1
@@ -246,6 +307,12 @@ func (g *randGen) query() string {
 		}
 		bt := g.tables[g.rng.Intn(len(g.tables))]
 		fmt.Fprintf(&sb, "%s.%s c%d", bt.alias, g.pick(tableCols[bt.table]), i)
+	}
+	// Analytic select item (skipped under DISTINCT: de-duplicating on a
+	// whole-partition aggregate keeps semantics but adds nothing).
+	if !distinct && g.rng.Intn(5) == 0 {
+		sb.WriteString(", ")
+		sb.WriteString(g.windowItem(fmt.Sprintf("c%d", nCols)))
 	}
 	sb.WriteString(g.fromWhere())
 	return sb.String()
