@@ -25,8 +25,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, server")
 	n := flag.Int("n", 12, "queries per workload class")
+	serverOps := flag.Int("server-ops", 64, "executes per session in the server experiment")
 	repeats := flag.Int("repeats", 3, "execution repetitions per query (min taken)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
@@ -132,6 +133,14 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatParallelSearch(rows))
+		return nil
+	})
+	run("server", func() error {
+		r, err := bench.ServerThroughput(ctx, db, []int{1, 4, 16}, *serverOps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
 		return nil
 	})
 }

@@ -8,6 +8,12 @@
 //
 //	cbqt [flags] "SELECT ..."     run one query
 //	cbqt [flags]                  read queries from stdin (semicolon-terminated)
+//
+// With -connect the command becomes a network client for a cbqtd daemon:
+// the query (with optional -bind name=value parameters) is prepared,
+// executed and fetched over the wire protocol instead of in-process.
+//
+//	cbqt -connect 127.0.0.1:7654 -bind d=50 "SELECT ... WHERE x = :d"
 package main
 
 import (
@@ -54,7 +60,15 @@ func main() {
 	maxStates := flag.Int("max-states", 0, "cap on transformation states evaluated per query (0 = unlimited)")
 	maxMem := flag.Int64("max-mem", 0, "approximate memory budget in bytes for copied trees and the cost cache (0 = unlimited)")
 	faults := flag.String("faults", "", "comma-separated fault injections, e.g. 'panic@apply:GBP,error@state:Unnest#3,delay(2ms)@state:*'")
+	connect := flag.String("connect", "", "run as a client of the cbqtd daemon at this address")
+	var binds bindFlags
+	flag.Var(&binds, "bind", "bind parameter as name=value (repeatable; value parsed as int, float, then string)")
 	flag.Parse()
+
+	if *connect != "" {
+		runRemote(*connect, *strategy, *timeout, *maxStates, binds, *maxRows)
+		return
+	}
 
 	var db *storage.DB
 	switch *size {

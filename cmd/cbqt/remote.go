@@ -1,0 +1,122 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/datum"
+	"repro/internal/server"
+)
+
+// bindFlags accumulates repeated -bind name=value flags.
+type bindFlags []server.BindValue
+
+func (b *bindFlags) String() string { return fmt.Sprintf("%d binds", len(*b)) }
+
+func (b *bindFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=value, got %q", s)
+	}
+	*b = append(*b, server.Named(name, parseDatum(val)))
+	return nil
+}
+
+// parseDatum guesses the SQL type of a command-line value: int, then
+// float, then the literal NULL, then string.
+func parseDatum(s string) datum.Datum {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return datum.NewInt(i)
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return datum.NewFloat(f)
+	}
+	if strings.EqualFold(s, "null") {
+		return datum.Null
+	}
+	return datum.NewString(s)
+}
+
+// runRemote executes queries against a cbqtd daemon instead of in-process.
+func runRemote(addr, strategy string, timeout time.Duration, maxStates int, binds []server.BindValue, maxRows int) {
+	cli, err := server.Dial(addr, &server.SessionOptions{
+		Strategy:  strategy,
+		TimeoutMS: timeout.Milliseconds(),
+		MaxStates: maxStates,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)
+		os.Exit(1)
+	}
+	defer cli.Close()
+
+	if flag.NArg() > 0 {
+		remoteQuery(cli, strings.Join(flag.Args(), " "), binds, maxRows)
+		return
+	}
+
+	// REPL over stdin, queries terminated with ';'. Binds from the command
+	// line apply to every query (parameters they don't name just error).
+	fmt.Printf("cbqt connected to %s — terminate queries with ';'\n", addr)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	fmt.Print("cbqt> ")
+	for scanner.Scan() {
+		line := scanner.Text()
+		if idx := strings.Index(line, ";"); idx >= 0 {
+			buf.WriteString(line[:idx])
+			sql := strings.TrimSpace(buf.String())
+			buf.Reset()
+			if sql != "" {
+				remoteQuery(cli, sql, binds, maxRows)
+			}
+			fmt.Print("cbqt> ")
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+	}
+}
+
+func remoteQuery(cli *server.Client, sql string, binds []server.BindValue, maxRows int) {
+	stmt, err := cli.Prepare(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	defer stmt.Close()
+	start := time.Now()
+	if err := stmt.Execute(binds...); err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	source := "optimized"
+	if stmt.Cached {
+		source = "shared plan cache"
+	}
+	fmt.Printf("\n-- transformed (%s, %s) --\n%s\n", time.Since(start).Round(10*time.Microsecond), source, stmt.SQL)
+	rows, err := stmt.FetchAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fetch error: %v\n", err)
+		return
+	}
+	fmt.Printf("\n-- %d rows --\n", len(rows))
+	for i, row := range rows {
+		if i >= maxRows {
+			fmt.Printf("  ... (%d more)\n", len(rows)-maxRows)
+			break
+		}
+		parts := make([]string, len(row))
+		for j, d := range row {
+			parts[j] = d.String()
+		}
+		fmt.Printf("  %s\n", strings.Join(parts, " | "))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,119 @@
+// Command cbqtd is the CBQT SQL server daemon: it loads the built-in
+// HR/OE demo schema, listens on a TCP address, and serves concurrent
+// sessions over the length-prefixed wire protocol (see internal/server).
+// Sessions share one plan cache, so a parameterized query is optimized
+// once and executed everywhere; ANALYZE from any session invalidates the
+// affected plans.
+//
+// Usage:
+//
+//	cbqtd -addr :7654 -size medium
+//
+// Stop with SIGINT/SIGTERM: the daemon drains gracefully — open cursors
+// may be fetched to completion; new statements are refused.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/obsv"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/testkit"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7654", "TCP listen address")
+	size := flag.String("size", "small", "demo data size: small or medium")
+	seed := flag.Int64("seed", 1, "data generation seed")
+	strategy := flag.String("strategy", "auto", "default state-space search: auto, exhaustive, iterative, linear, two-pass")
+	cacheOff := flag.Bool("cache-off", false, "disable the shared plan cache (every execute optimizes)")
+	cacheEntries := flag.Int("cache-entries", 0, "plan cache bound (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to finish")
+	metricsEvery := flag.Duration("metrics-every", 0, "periodically log the metrics registry (0 = never)")
+	flag.Parse()
+
+	var db *storage.DB
+	switch *size {
+	case "small":
+		db = testkit.NewDB(testkit.SmallSizes(), *seed)
+	case "medium":
+		db = testkit.NewDB(testkit.MediumSizes(), *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	opts := cbqt.DefaultOptions()
+	switch *strategy {
+	case "auto":
+		opts.Strategy = cbqt.StrategyAuto
+	case "exhaustive":
+		opts.Strategy = cbqt.StrategyExhaustive
+	case "iterative":
+		opts.Strategy = cbqt.StrategyIterative
+	case "linear":
+		opts.Strategy = cbqt.StrategyLinear
+	case "two-pass":
+		opts.Strategy = cbqt.StrategyTwoPass
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	reg := obsv.NewRegistry()
+	srv := server.New(server.Config{
+		DB:              db,
+		Opts:            opts,
+		Registry:        reg,
+		CacheOff:        *cacheOff,
+		CacheMaxEntries: *cacheEntries,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("cbqtd: listen: %v", err)
+	}
+	log.Printf("cbqtd: serving %s data on %s (cache %s)", *size, l.Addr(), onOff(!*cacheOff))
+
+	if *metricsEvery > 0 {
+		go func() {
+			for range time.Tick(*metricsEvery) {
+				log.Printf("cbqtd: metrics\n%s", reg.Dump())
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("cbqtd: draining (timeout %s)", *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("cbqtd: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(l); err != nil {
+		log.Fatalf("cbqtd: serve: %v", err)
+	}
+	log.Printf("cbqtd: drained; final metrics\n%s", reg.Dump())
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/obsv"
+	"repro/internal/plancache"
+	"repro/internal/server"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// ServerPoint is one server-throughput measurement: a session count and
+// cache mode, with the observed rate and the optimizer/cache counters
+// that explain it.
+type ServerPoint struct {
+	Sessions      int
+	CacheOn       bool
+	Ops           int
+	Elapsed       time.Duration
+	QPS           float64
+	OptimizerRuns int64 // cbqt.queries delta: full CBQT optimizations
+	CacheHits     int64
+	Coalesced     int64
+}
+
+// ServerResult is the full throughput experiment.
+type ServerResult struct {
+	DistinctQueries int
+	Points          []ServerPoint
+}
+
+// ServerThroughput measures end-to-end QPS through the wire protocol at
+// several concurrency levels, with the shared plan cache on and off. The
+// workload is a fixed set of parameterized query texts executed with
+// rotating bind sets, so with the cache on the optimizer runs once per
+// distinct text while every execution still parses binds, probes indexes
+// and returns rows — the amortization the paper attributes to the shared
+// cursor cache.
+func ServerThroughput(ctx context.Context, db *storage.DB, sessionCounts []int, opsPerSession int, seed int64) (*ServerResult, error) {
+	cfg := workload.DefaultConfig(seed, 40, 0, 0, 0)
+	cfg.Employees, cfg.Departments, cfg.Jobs = benchSizes(db)
+	cfg.RelevantFraction = 0.4
+	var pqs []workload.ParamQuery
+	for _, wq := range workload.Generate(cfg) {
+		pq, ok := workload.Parameterize(wq.SQL, 8, seed+int64(wq.ID))
+		if !ok {
+			continue
+		}
+		pqs = append(pqs, pq)
+		if len(pqs) == 8 {
+			break
+		}
+	}
+	if len(pqs) == 0 {
+		return nil, fmt.Errorf("bench: workload produced no parameterizable queries")
+	}
+
+	res := &ServerResult{DistinctQueries: len(pqs)}
+	for _, cacheOn := range []bool{false, true} {
+		for _, sessions := range sessionCounts {
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			p, err := runServerPoint(ctx, db, pqs, sessions, opsPerSession, cacheOn)
+			if err != nil {
+				return res, err
+			}
+			res.Points = append(res.Points, p)
+		}
+	}
+	return res, nil
+}
+
+// runServerPoint brings up an in-process server on a loopback listener and
+// drives it with `sessions` concurrent clients for a fixed amount of work.
+func runServerPoint(ctx context.Context, db *storage.DB, pqs []workload.ParamQuery, sessions, opsPerSession int, cacheOn bool) (ServerPoint, error) {
+	reg := obsv.NewRegistry()
+	opts := cbqt.DefaultOptions()
+	opts.Parallelism = 1 // sessions provide the concurrency; keep searches lean
+	srv := server.New(server.Config{DB: db, Opts: opts, Registry: reg, CacheOff: !cacheOn})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return ServerPoint{}, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-serveDone
+	}()
+
+	before := reg.Snapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, sessions)
+	for sid := 0; sid < sessions; sid++ {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			errCh <- driveSession(ctx, l.Addr().String(), pqs, sid, opsPerSession)
+		}(sid)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return ServerPoint{}, err
+		}
+	}
+	delta := reg.Snapshot().Sub(before)
+
+	ops := sessions * opsPerSession
+	return ServerPoint{
+		Sessions:      sessions,
+		CacheOn:       cacheOn,
+		Ops:           ops,
+		Elapsed:       elapsed,
+		QPS:           float64(ops) / elapsed.Seconds(),
+		OptimizerRuns: delta.Counters["cbqt.queries"],
+		CacheHits:     delta.Counters[plancache.MetricHits],
+		Coalesced:     delta.Counters[plancache.MetricCoalesced],
+	}, nil
+}
+
+// driveSession is one benchmark client: it prepares every query once, then
+// executes them round-robin with rotating bind sets, fetching all rows.
+func driveSession(ctx context.Context, addr string, pqs []workload.ParamQuery, sid, ops int) error {
+	cli, err := server.Dial(addr, nil)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	stmts := make([]*server.Stmt, len(pqs))
+	for i, pq := range pqs {
+		if stmts[i], err = cli.Prepare(pq.SQL); err != nil {
+			return fmt.Errorf("bench: prepare %q: %w", pq.SQL, err)
+		}
+	}
+	for op := 0; op < ops; op++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		qi := (sid + op) % len(pqs)
+		pq, stmt := pqs[qi], stmts[qi]
+		set := pq.Sets[(sid*7+op)%len(pq.Sets)]
+		binds := make([]server.BindValue, len(pq.Names))
+		for i, name := range pq.Names {
+			binds[i] = server.Named(name, set[i])
+		}
+		if err := stmt.Execute(binds...); err != nil {
+			return fmt.Errorf("bench: execute %q: %w", pq.SQL, err)
+		}
+		if _, err := stmt.FetchAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchSizes recovers the workload value ranges from the database.
+func benchSizes(db *storage.DB) (employees, departments, jobs int) {
+	count := func(name string) int {
+		if t := db.Table(name); t != nil {
+			return len(t.Rows)
+		}
+		return 0
+	}
+	return count("EMPLOYEES"), count("DEPARTMENTS"), count("JOBS")
+}
+
+// String renders the experiment like the report tables.
+func (r *ServerResult) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "server throughput: %d distinct parameterized queries, cache off vs on\n", r.DistinctQueries)
+	fmt.Fprintf(&sb, "%-9s %-6s %8s %10s %10s %10s %10s %10s\n",
+		"sessions", "cache", "ops", "elapsed", "qps", "opt-runs", "hits", "coalesced")
+	for _, p := range r.Points {
+		cache := "off"
+		if p.CacheOn {
+			cache = "on"
+		}
+		fmt.Fprintf(&sb, "%-9d %-6s %8d %10s %10.1f %10d %10d %10d\n",
+			p.Sessions, cache, p.Ops, p.Elapsed.Round(time.Millisecond), p.QPS,
+			p.OptimizerRuns, p.CacheHits, p.Coalesced)
+	}
+	// Headline: the cache's amortization at the highest concurrency.
+	var off, on *ServerPoint
+	for i := range r.Points {
+		p := &r.Points[i]
+		if !p.CacheOn && (off == nil || p.Sessions > off.Sessions) {
+			off = p
+		}
+		if p.CacheOn && (on == nil || p.Sessions > on.Sessions) {
+			on = p
+		}
+	}
+	if off != nil && on != nil && off.Sessions == on.Sessions && off.QPS > 0 {
+		fmt.Fprintf(&sb, "cache speedup at %d sessions: %.2fx\n", on.Sessions, on.QPS/off.QPS)
+	}
+	return sb.String()
+}

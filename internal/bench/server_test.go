@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+func TestServerThroughputSmoke(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	res, err := ServerThroughput(context.Background(), db, []int{1, 4}, 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("got %d points, want 4 (2 session counts x 2 cache modes)", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Ops != p.Sessions*6 || p.QPS <= 0 {
+			t.Fatalf("bad point: %+v", p)
+		}
+		if !p.CacheOn && p.OptimizerRuns != int64(p.Ops) {
+			t.Fatalf("cache off must optimize every execute: %+v", p)
+		}
+		if p.CacheOn {
+			if p.OptimizerRuns > int64(res.DistinctQueries) {
+				t.Fatalf("cache on optimized %d times for %d distinct queries", p.OptimizerRuns, res.DistinctQueries)
+			}
+			if p.CacheHits == 0 {
+				t.Fatalf("cache on never hit: %+v", p)
+			}
+		}
+	}
+	if res.String() == "" {
+		t.Fatal("empty report")
+	}
+}

@@ -10,6 +10,7 @@ package catalog
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/datum"
 )
@@ -143,7 +144,19 @@ type FuncDef struct {
 type Catalog struct {
 	tables map[string]*Table
 	funcs  map[string]*FuncDef
+	// version counts statistics and DDL changes (ANALYZE, CREATE INDEX,
+	// CREATE TABLE). Plan caches embed it in their keys so any change
+	// invalidates every plan optimized under the old statistics.
+	version atomic.Int64
 }
+
+// Version returns the current statistics/DDL version. It starts at 0 and
+// only ever grows.
+func (c *Catalog) Version() int64 { return c.version.Load() }
+
+// BumpVersion records a statistics or DDL change and returns the new
+// version. Safe for concurrent use.
+func (c *Catalog) BumpVersion() int64 { return c.version.Add(1) }
 
 // New returns an empty catalog pre-populated with the built-in scalar
 // functions.

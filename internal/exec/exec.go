@@ -56,6 +56,10 @@ type env struct {
 	// SubqExecs counts subquery executions (cache misses); tests use it to
 	// verify TIS caching.
 	SubqExecs int
+	// params holds the bind-parameter values for this execution, indexed by
+	// qtree.Param.Ord (late binding: the plan is compiled once, values are
+	// supplied per run).
+	params []datum.Datum
 	// ctx cancels execution mid-query; polled in the leaf scans, which
 	// every row ultimately flows through (blocking operators drain their
 	// inputs via scans too, so nested-loops re-scans, hash builds and sorts
@@ -106,6 +110,15 @@ func Run(db *storage.DB, plan *optimizer.Plan) (*Result, error) {
 // stuck inside a blocking operator's drain within a bounded number of rows.
 func RunContext(ctx context.Context, db *storage.DB, plan *optimizer.Plan) (*Result, error) {
 	return runEnv(newEnv(ctx, db, plan))
+}
+
+// RunParams executes a plan with bind-parameter values, indexed by
+// qtree.Param.Ord. The same (cached) plan may be run concurrently with
+// different bind sets; each run carries its own values.
+func RunParams(ctx context.Context, db *storage.DB, plan *optimizer.Plan, params []datum.Datum) (*Result, error) {
+	e := newEnv(ctx, db, plan)
+	e.params = params
+	return runEnv(e)
 }
 
 // newEnv prepares the run-wide state for one execution.

@@ -15,6 +15,12 @@ func (e *env) evalExpr(x qtree.Expr, ctx *Ctx) (datum.Datum, error) {
 	case *qtree.Const:
 		return v.Val, nil
 
+	case *qtree.Param:
+		if v.Ord < 0 || v.Ord >= len(e.params) {
+			return datum.Null, fmt.Errorf("exec: unbound parameter :%s (slot %d, %d values bound)", v.Name, v.Ord, len(e.params))
+		}
+		return e.params[v.Ord], nil
+
 	case *qtree.Col:
 		d, ok := ctx.lookup(optimizer.ColID{From: v.From, Ord: v.Ord})
 		if !ok {

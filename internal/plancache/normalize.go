@@ -1,0 +1,48 @@
+package plancache
+
+import (
+	"strings"
+
+	"repro/internal/sql"
+)
+
+// Normalize canonicalizes SQL text for use as a plan-cache key: comments
+// and whitespace runs disappear, identifiers and keywords are upper-cased,
+// string literals keep their exact value, and bind-parameter markers are
+// preserved (":dept" and a positional "?" stay distinct). Two texts that
+// tokenize identically therefore share a cache entry regardless of layout.
+// Malformed SQL falls back to the trimmed raw text — it will miss the
+// cache, reach the parser, and fail there with a proper error.
+func Normalize(src string) string {
+	toks, err := sql.LexAll(src)
+	if err != nil {
+		return strings.TrimSpace(src)
+	}
+	var sb strings.Builder
+	for i, t := range toks {
+		if t.Kind == sql.TokEOF {
+			break
+		}
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		switch t.Kind {
+		case sql.TokIdent:
+			sb.WriteString(strings.ToUpper(t.Text))
+		case sql.TokString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.Text, "'", "''"))
+			sb.WriteByte('\'')
+		case sql.TokParam:
+			if t.Text == "" {
+				sb.WriteByte('?')
+			} else {
+				sb.WriteByte(':')
+				sb.WriteString(strings.ToUpper(t.Text))
+			}
+		default:
+			sb.WriteString(t.Text)
+		}
+	}
+	return sb.String()
+}

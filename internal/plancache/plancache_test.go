@@ -1,0 +1,200 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+func TestGetOrComputeHitMiss(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := New(64, reg)
+	k := Key{SQL: "SELECT 1", Strategy: "auto", Version: 1}
+
+	calls := 0
+	v, shared, err := c.GetOrCompute(k, func() (any, error) { calls++; return "plan", nil })
+	if err != nil || shared || v != "plan" {
+		t.Fatalf("first lookup: v=%v shared=%v err=%v", v, shared, err)
+	}
+	v, shared, err = c.GetOrCompute(k, func() (any, error) { calls++; return "other", nil })
+	if err != nil || !shared || v != "plan" {
+		t.Fatalf("second lookup: v=%v shared=%v err=%v", v, shared, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if h := reg.CounterValue(MetricHits); h != 1 {
+		t.Fatalf("hits = %d, want 1", h)
+	}
+	if m := reg.CounterValue(MetricMisses); m != 1 {
+		t.Fatalf("misses = %d, want 1", m)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(64, nil)
+	k := Key{SQL: "SELECT broken", Strategy: "auto"}
+	_, _, err := c.GetOrCompute(k, func() (any, error) { return nil, fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("error was cached: len=%d", c.Len())
+	}
+	v, shared, err := c.GetOrCompute(k, func() (any, error) { return "ok", nil })
+	if err != nil || shared || v != "ok" {
+		t.Fatalf("retry after error: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+// TestSingleflightCoalescing launches many goroutines missing on the same
+// key; exactly one compute must run, the rest share its result.
+func TestSingleflightCoalescing(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := New(64, reg)
+	k := Key{SQL: "SELECT coalesce", Strategy: "auto"}
+
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	const workers = 32
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := c.GetOrCompute(k, func() (any, error) {
+				computes.Add(1)
+				<-gate // hold the flight open so everyone piles on
+				return "plan", nil
+			})
+			if err != nil || v != "plan" {
+				t.Errorf("v=%v err=%v", v, err)
+			}
+		}()
+	}
+	close(start)
+	// Let the losers reach the waiting path, then release the computation.
+	for reg.CounterValue(MetricCoalesced)+reg.CounterValue(MetricHits) < workers-1 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrency, want 1", n)
+	}
+	shared := reg.CounterValue(MetricCoalesced) + reg.CounterValue(MetricHits)
+	if shared != workers-1 {
+		t.Fatalf("coalesced+hits = %d, want %d", shared, workers-1)
+	}
+}
+
+func TestBoundedSecondChanceEviction(t *testing.T) {
+	reg := obsv.NewRegistry()
+	const capacity = 32
+	c := New(capacity, reg)
+	for i := 0; i < 4*capacity; i++ {
+		k := Key{SQL: fmt.Sprintf("SELECT %d", i), Strategy: "auto"}
+		if _, _, err := c.GetOrCompute(k, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > capacity {
+		t.Fatalf("cache grew to %d entries, bound is %d", got, capacity)
+	}
+	if ev := reg.CounterValue(MetricEvictions); ev < 3*capacity-numShards {
+		t.Fatalf("evictions = %d, want roughly %d", ev, 3*capacity)
+	}
+}
+
+// TestSecondChancePrefersHotEntries verifies the clock keeps an entry that
+// keeps getting hit while cold entries churn through its shard: with two
+// slots, the cold slot cycles while the re-referenced hot entry survives.
+func TestSecondChancePrefersHotEntries(t *testing.T) {
+	c := New(2*numShards, nil) // two slots per shard
+	hot := Key{SQL: "SELECT hot", Strategy: "auto"}
+	c.GetOrCompute(hot, func() (any, error) { return "hot", nil })
+	hotShard := c.shard(hot.String())
+	for i, churned := 0, 0; churned < 64 && i < 10000; i++ {
+		cold := Key{SQL: fmt.Sprintf("SELECT cold %d", i), Strategy: "auto"}
+		if c.shard(cold.String()) != hotShard {
+			continue // only keys contending for the hot entry's shard count
+		}
+		churned++
+		c.GetOrCompute(cold, func() (any, error) { return i, nil })
+		if _, ok := c.Get(hot); !ok {
+			// Get re-arms the ref bit every round, so when the hand sweeps
+			// past the hot slot it gets a second chance and the clock evicts
+			// the unreferenced cold entry instead.
+			t.Fatalf("hot entry evicted after %d cold inserts into its shard", churned)
+		}
+	}
+}
+
+func TestInvalidateDropsStaleVersions(t *testing.T) {
+	reg := obsv.NewRegistry()
+	c := New(64, reg)
+	for i := 0; i < 8; i++ {
+		c.GetOrCompute(Key{SQL: fmt.Sprintf("SELECT %d", i), Strategy: "auto", Version: 1},
+			func() (any, error) { return i, nil })
+	}
+	c.GetOrCompute(Key{SQL: "SELECT fresh", Strategy: "auto", Version: 2},
+		func() (any, error) { return "fresh", nil })
+
+	if n := c.Invalidate(2); n != 8 {
+		t.Fatalf("invalidated %d entries, want 8", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after invalidation, want 1", c.Len())
+	}
+	if iv := reg.CounterValue(MetricInvalidations); iv != 8 {
+		t.Fatalf("invalidations counter = %d, want 8", iv)
+	}
+	// The stale key misses; the fresh one still hits.
+	if _, ok := c.Get(Key{SQL: "SELECT 0", Strategy: "auto", Version: 1}); ok {
+		t.Fatal("stale entry survived invalidation")
+	}
+	if _, ok := c.Get(Key{SQL: "SELECT fresh", Strategy: "auto", Version: 2}); !ok {
+		t.Fatal("fresh entry was dropped")
+	}
+}
+
+func TestKeyDimensionsAreDistinct(t *testing.T) {
+	c := New(64, nil)
+	base := Key{SQL: "SELECT 1", Strategy: "auto", Version: 1}
+	c.GetOrCompute(base, func() (any, error) { return "a", nil })
+	variants := []Key{
+		{SQL: "SELECT 2", Strategy: "auto", Version: 1},
+		{SQL: "SELECT 1", Strategy: "exhaustive", Version: 1},
+		{SQL: "SELECT 1", Strategy: "auto", Version: 2},
+	}
+	for _, k := range variants {
+		if _, ok := c.Get(k); ok {
+			t.Fatalf("key %v unexpectedly hit the entry for %v", k, base)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"select * from emp", "SELECT  *  FROM emp"},
+		{"SELECT a FROM t -- trailing comment\n", "select A from T"},
+		{"SELECT a FROM t /* c */ WHERE x = :p", "select a from t where x = :P"},
+		{"SELECT 'it''s' FROM t", "select   'it''s'   from t"},
+	}
+	for _, tc := range cases {
+		if na, nb := Normalize(tc.a), Normalize(tc.b); na != nb {
+			t.Errorf("Normalize(%q) = %q != Normalize(%q) = %q", tc.a, na, tc.b, nb)
+		}
+	}
+	if Normalize("SELECT :a FROM t") == Normalize("SELECT ? FROM t") {
+		t.Error("named and positional parameters must not normalize identically")
+	}
+	if Normalize("SELECT 1 FROM t") == Normalize("SELECT 2 FROM t") {
+		t.Error("distinct literals must not normalize identically")
+	}
+}

@@ -45,6 +45,24 @@ func BindSQL(src string, cat *catalog.Catalog) (*Query, error) {
 	return Bind(stmt, cat)
 }
 
+// bindParam resolves an AST parameter to a typed placeholder, allocating a
+// parameter ordinal on the query. Named parameters with the same
+// (case-insensitive) name share one ordinal; each positional "?" gets its
+// own slot, named "?<n>" after its occurrence order.
+func (q *Query) bindParam(p *sql.Param) *Param {
+	name := strings.ToUpper(p.Name)
+	if name == "" {
+		name = fmt.Sprintf("?%d", p.Pos+1)
+	}
+	for i, n := range q.Params {
+		if n == name {
+			return &Param{Ord: i, Name: name}
+		}
+	}
+	q.Params = append(q.Params, name)
+	return &Param{Ord: len(q.Params) - 1, Name: name}
+}
+
 // scope is the name-resolution environment: the from items visible in the
 // current block, chained to enclosing blocks for correlation.
 type scope struct {
@@ -474,6 +492,9 @@ func (bd *binder) bindExpr(e sql.Expr, sc *scope, allowAgg bool) (Expr, error) {
 
 	case *sql.Rownum:
 		return nil, fmt.Errorf("qtree: ROWNUM is only supported as a top-level 'ROWNUM < n' filter")
+
+	case *sql.Param:
+		return bd.q.bindParam(v), nil
 
 	case *sql.BinExpr:
 		op, ok := binOpFromAST(v.Op)

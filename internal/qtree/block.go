@@ -141,8 +141,12 @@ type Block struct {
 
 // Query owns a tree of blocks and allocates query-unique IDs.
 type Query struct {
-	Root     *Block
-	Catalog  *catalog.Catalog
+	Root    *Block
+	Catalog *catalog.Catalog
+	// Params lists the query's bind-parameter names in ordinal order (the
+	// Ord field of qtree.Param indexes this slice). Named parameters appear
+	// once regardless of how many times they occur in the text.
+	Params   []string
 	nextFrom FromID
 	nextBlk  int
 }
@@ -225,7 +229,7 @@ func (b *Block) FindFrom(id FromID) *FromItem {
 // callers can carry references (e.g. transformation directives, §3.1)
 // across the copy.
 func (q *Query) Clone() (*Query, *Remap) {
-	nq := &Query{Catalog: q.Catalog, nextFrom: 1, nextBlk: 1}
+	nq := &Query{Catalog: q.Catalog, Params: append([]string(nil), q.Params...), nextFrom: 1, nextBlk: 1}
 	r := &Remap{IDs: map[FromID]FromID{}, dst: nq}
 	registerFromIDs(q.Root, r)
 	nq.Root = q.Root.cloneStructure(r)
@@ -509,6 +513,7 @@ func (b *Block) IsCorrelated() bool { return len(b.OuterRefs()) > 0 }
 // afterwards.
 func (q *Query) AdoptFrom(src *Query) {
 	q.Root = src.Root
+	q.Params = src.Params
 	q.nextFrom = src.nextFrom
 	q.nextBlk = src.nextBlk
 	q.reown(q.Root)

@@ -70,6 +70,17 @@ type Col struct {
 	Name string // column name for display
 }
 
+// Param is a typed bind-parameter placeholder: the query tree keeps the
+// slot, and the executor supplies the value at plan open (late binding), so
+// one optimized plan can serve many bind sets. Ord indexes the owning
+// query's parameter list (first-appearance order, named parameters
+// deduplicated); Name is the user-visible name (":dept") or a generated
+// one ("?1") for positional placeholders.
+type Param struct {
+	Ord  int
+	Name string
+}
+
 // BinOp enumerates binary operators.
 type BinOp uint8
 
@@ -289,6 +300,7 @@ type Case struct {
 }
 
 func (e *Const) Clone(r *Remap) Expr { return &Const{Val: e.Val} }
+func (e *Param) Clone(r *Remap) Expr { return &Param{Ord: e.Ord, Name: e.Name} }
 func (e *Col) Clone(r *Remap) Expr {
 	return &Col{From: r.lookup(e.From), Ord: e.Ord, Name: e.Name}
 }
@@ -350,6 +362,7 @@ func cloneExprs(es []Expr, r *Remap) []Expr {
 }
 
 func (e *Const) String() string { return e.Val.String() }
+func (e *Param) String() string { return ":" + e.Name }
 func (e *Col) String() string {
 	return fmt.Sprintf("q%d.%s", e.From, e.Name)
 }

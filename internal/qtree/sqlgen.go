@@ -277,6 +277,13 @@ func exprSQL(e Expr, n *Namer) string {
 	switch v := e.(type) {
 	case *Const:
 		return v.Val.String()
+	case *Param:
+		if n.ordinals {
+			// Canonical cache keys identify parameters by slot so that
+			// structurally identical blocks match regardless of names.
+			return fmt.Sprintf(":$%d", v.Ord)
+		}
+		return ":" + v.Name
 	case *Col:
 		if v.From == 0 {
 			return v.Name // set-operation output reference

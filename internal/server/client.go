@@ -1,0 +1,192 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/datum"
+)
+
+// Client is the Go-side of the wire protocol, used by cmd/cbqt's connect
+// mode, the benchmarks and the tests. A Client is one session; it is not
+// safe for concurrent use (open one client per goroutine, as an
+// application would open one connection per worker).
+type Client struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a cbqtd server and performs the hello exchange.
+func Dial(addr string, opts *SessionOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, err := c.roundTrip(&Request{Verb: VerbHello, Options: opts}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// roundTrip sends one request and reads its response, turning server-side
+// errors into Go errors.
+func (c *Client) roundTrip(req *Request) (*Response, error) {
+	if err := WriteFrame(c.w, req); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	var resp Response
+	if err := ReadFrame(c.r, &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Stmt is a prepared statement handle.
+type Stmt struct {
+	c      *Client
+	id     int64
+	Params []string
+	// RowCount and SQL describe the last execute: cursor size and the
+	// transformed query text. Cached reports whether the plan came from
+	// the shared cache.
+	RowCount int
+	SQL      string
+	Cached   bool
+}
+
+// Prepare parses and binds the query on the server, returning a statement
+// handle with its discovered parameter names.
+func (c *Client) Prepare(sql string) (*Stmt, error) {
+	resp, err := c.roundTrip(&Request{Verb: VerbPrepare, SQL: sql})
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{c: c, id: resp.Stmt, Params: resp.Params}, nil
+}
+
+// Bind sets parameter values without executing (the wire bind verb).
+func (s *Stmt) Bind(binds ...BindValue) error {
+	_, err := s.c.roundTrip(&Request{Verb: VerbBind, Stmt: s.id, Binds: binds})
+	return err
+}
+
+// Execute optimizes (through the shared plan cache) and runs the
+// statement, opening a cursor. Binds passed here are applied first, on top
+// of any earlier Bind calls.
+func (s *Stmt) Execute(binds ...BindValue) error {
+	resp, err := s.c.roundTrip(&Request{Verb: VerbExecute, Stmt: s.id, Binds: binds})
+	if err != nil {
+		return err
+	}
+	s.RowCount = resp.RowCount
+	s.SQL = resp.SQL
+	s.Cached = resp.Cached
+	return nil
+}
+
+// Fetch returns the next batch of at most maxRows rows (server default
+// when <= 0) and whether the cursor is exhausted.
+func (s *Stmt) Fetch(maxRows int) ([][]datum.Datum, bool, error) {
+	resp, err := s.c.roundTrip(&Request{Verb: VerbFetch, Stmt: s.id, MaxRows: maxRows})
+	if err != nil {
+		return nil, false, err
+	}
+	rows, err := decodeRows(resp.Rows)
+	return rows, resp.Done, err
+}
+
+// FetchAll drains the cursor.
+func (s *Stmt) FetchAll() ([][]datum.Datum, error) {
+	var all [][]datum.Datum
+	for {
+		batch, done, err := s.Fetch(0)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, batch...)
+		if done {
+			return all, nil
+		}
+	}
+}
+
+// Close drops the statement on the server.
+func (s *Stmt) Close() error {
+	_, err := s.c.roundTrip(&Request{Verb: VerbCloseStmt, Stmt: s.id})
+	return err
+}
+
+// Query is the one-shot convenience: prepare + execute + drain + close in
+// a single wire exchange plus fetches.
+func (c *Client) Query(sql string, binds ...BindValue) ([][]datum.Datum, error) {
+	resp, err := c.roundTrip(&Request{Verb: VerbExecute, SQL: sql, Binds: binds})
+	if err != nil {
+		return nil, err
+	}
+	s := &Stmt{c: c, id: resp.Stmt, RowCount: resp.RowCount, SQL: resp.SQL, Cached: resp.Cached}
+	return s.FetchAll()
+}
+
+// Analyze re-collects statistics for table ("" = all tables), bumping the
+// catalog version and invalidating stale cached plans server-side.
+func (c *Client) Analyze(table string) error {
+	_, err := c.roundTrip(&Request{Verb: VerbAnalyze, Table: table})
+	return err
+}
+
+// Metrics snapshots the server registry and this session's counters.
+func (c *Client) Metrics() (map[string]int64, *SessionStats, error) {
+	resp, err := c.roundTrip(&Request{Verb: VerbMetrics})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Metrics, resp.Session, nil
+}
+
+// Close ends the session politely and closes the connection.
+func (c *Client) Close() error {
+	_, rtErr := c.roundTrip(&Request{Verb: VerbClose})
+	closeErr := c.conn.Close()
+	if rtErr != nil {
+		return rtErr
+	}
+	return closeErr
+}
+
+func decodeRows(rows [][]WireDatum) ([][]datum.Datum, error) {
+	out := make([][]datum.Datum, len(rows))
+	for i, wr := range rows {
+		row := make([]datum.Datum, len(wr))
+		for j, wd := range wr {
+			d, err := wd.Decode()
+			if err != nil {
+				return nil, fmt.Errorf("server: row %d col %d: %w", i, j, err)
+			}
+			row[j] = d
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Named builds a named bind value.
+func Named(name string, d datum.Datum) BindValue {
+	return BindValue{Name: name, Value: EncodeDatum(d)}
+}
+
+// Positional builds an unnamed bind value (fills parameters in order).
+func Positional(d datum.Datum) BindValue {
+	return BindValue{Value: EncodeDatum(d)}
+}

@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/cbqt"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/plancache"
+	"repro/internal/qtree"
+)
+
+// cachedPlan is the value stored in the shared plan cache: the physical
+// plan plus everything a session needs to execute it without re-binding.
+type cachedPlan struct {
+	plan   *optimizer.Plan
+	params []string // parameter names in ordinal order
+	sql    string   // transformed query text
+}
+
+// stmt is one prepared statement within a session.
+type stmt struct {
+	id     int64
+	sql    string
+	norm   string   // normalized cache-key text
+	params []string // parameter names from prepare-time binding
+	binds  []datum.Datum
+	bound  []bool
+	// cursor is the materialized result of the last execute; fetch pages it.
+	cursor [][]datum.Datum
+	pos    int
+	open   bool
+}
+
+// session serves one connection. All verbs run on the session's goroutine;
+// only Shutdown touches the connection from outside (to sever it).
+type session struct {
+	srv  *Server
+	id   int64
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	opts     cbqt.Options
+	strategy string // plan-cache strategy fingerprint
+
+	stmts    map[int64]*stmt
+	nextStmt int64
+
+	prepared  atomic.Int64
+	executes  atomic.Int64
+	cacheHits atomic.Int64
+	fetches   atomic.Int64
+	rowsSent  atomic.Int64
+}
+
+func newSession(s *Server, id int64, conn net.Conn) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &session{
+		srv:      s,
+		id:       id,
+		conn:     conn,
+		r:        bufio.NewReader(conn),
+		w:        bufio.NewWriter(conn),
+		ctx:      ctx,
+		cancel:   cancel,
+		opts:     s.opts,
+		strategy: strategyFingerprint(s.opts),
+		stmts:    map[int64]*stmt{},
+	}
+}
+
+// run is the session's request loop: one frame in, one frame out, until
+// the peer closes, sends the close verb, or a wire error occurs.
+func (ss *session) run() {
+	defer func() {
+		ss.cancel()
+		ss.conn.Close()
+		ss.srv.unregister(ss.id)
+	}()
+	for {
+		var req Request
+		if err := ReadFrame(ss.r, &req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				ss.srv.errorsCtr.Inc()
+			}
+			return
+		}
+		resp := ss.dispatch(&req)
+		if err := WriteFrame(ss.w, resp); err != nil {
+			ss.srv.errorsCtr.Inc()
+			return
+		}
+		if err := ss.w.Flush(); err != nil {
+			ss.srv.errorsCtr.Inc()
+			return
+		}
+		if req.Verb == VerbClose {
+			return
+		}
+	}
+}
+
+func (ss *session) dispatch(req *Request) *Response {
+	var resp *Response
+	var err error
+	switch req.Verb {
+	case VerbHello:
+		resp, err = ss.hello(req)
+	case VerbPrepare:
+		resp, err = ss.prepare(req)
+	case VerbBind:
+		resp, err = ss.bind(req)
+	case VerbExecute:
+		resp, err = ss.execute(req)
+	case VerbFetch:
+		resp, err = ss.fetch(req)
+	case VerbCloseStmt:
+		resp, err = ss.closeStmt(req)
+	case VerbAnalyze:
+		resp, err = ss.analyze(req)
+	case VerbMetrics:
+		resp, err = ss.metrics(req)
+	case VerbClose:
+		resp = &Response{OK: true}
+	default:
+		err = fmt.Errorf("server: unknown verb %q", req.Verb)
+	}
+	if err != nil {
+		ss.srv.errorsCtr.Inc()
+		return &Response{Error: err.Error()}
+	}
+	resp.OK = true
+	return resp
+}
+
+func (ss *session) hello(req *Request) (*Response, error) {
+	opts, fp, err := ss.srv.sessionOpts(req.Options)
+	if err != nil {
+		return nil, err
+	}
+	ss.opts = opts
+	ss.strategy = fp
+	return &Response{Stmt: ss.id}, nil
+}
+
+func (ss *session) prepare(req *Request) (*Response, error) {
+	if ss.srv.Draining() {
+		return nil, ErrDraining
+	}
+	st, err := ss.newStmt(req.SQL)
+	if err != nil {
+		return nil, err
+	}
+	ss.stmts[st.id] = st
+	ss.prepared.Add(1)
+	return &Response{Stmt: st.id, Params: st.params}, nil
+}
+
+// newStmt parses and binds the text once to discover its parameters. The
+// throwaway tree also surfaces syntax and semantic errors at prepare time.
+func (ss *session) newStmt(sql string) (*stmt, error) {
+	q, err := qtree.BindSQL(sql, ss.srv.db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	ss.nextStmt++
+	return &stmt{
+		id:     ss.nextStmt,
+		sql:    sql,
+		norm:   plancache.Normalize(sql),
+		params: q.Params,
+		binds:  make([]datum.Datum, len(q.Params)),
+		bound:  make([]bool, len(q.Params)),
+	}, nil
+}
+
+func (ss *session) lookup(id int64) (*stmt, error) {
+	st, ok := ss.stmts[id]
+	if !ok {
+		return nil, fmt.Errorf("server: no prepared statement %d", id)
+	}
+	return st, nil
+}
+
+// applyBinds sets parameter values on st: named values match parameters
+// case-insensitively, unnamed values fill ordinals left to right.
+func applyBinds(st *stmt, binds []BindValue) error {
+	next := 0
+	for _, b := range binds {
+		d, err := b.Value.Decode()
+		if err != nil {
+			return err
+		}
+		ord := -1
+		if b.Name == "" {
+			for next < len(st.params) && st.bound[next] {
+				next++
+			}
+			if next >= len(st.params) {
+				return fmt.Errorf("server: too many positional binds (%d parameters)", len(st.params))
+			}
+			ord = next
+		} else {
+			want := strings.ToUpper(b.Name)
+			for i, n := range st.params {
+				if n == want {
+					ord = i
+					break
+				}
+			}
+			if ord < 0 {
+				return fmt.Errorf("server: no parameter :%s (have %s)", b.Name, strings.Join(st.params, ", "))
+			}
+		}
+		st.binds[ord] = d
+		st.bound[ord] = true
+	}
+	return nil
+}
+
+func (ss *session) bind(req *Request) (*Response, error) {
+	st, err := ss.lookup(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	if err := applyBinds(st, req.Binds); err != nil {
+		return nil, err
+	}
+	return &Response{Stmt: st.id}, nil
+}
+
+func (ss *session) execute(req *Request) (*Response, error) {
+	if ss.srv.Draining() {
+		return nil, ErrDraining
+	}
+	st := (*stmt)(nil)
+	var err error
+	if req.Stmt != 0 {
+		if st, err = ss.lookup(req.Stmt); err != nil {
+			return nil, err
+		}
+	} else {
+		// One-shot execute: implicit prepare, not retained after the
+		// cursor is materialized below.
+		if st, err = ss.newStmt(req.SQL); err != nil {
+			return nil, err
+		}
+		ss.nextStmt-- // id not consumed
+		st.id = 0
+	}
+	if err := applyBinds(st, req.Binds); err != nil {
+		return nil, err
+	}
+	missing := []string{}
+	for i, ok := range st.bound {
+		if !ok {
+			missing = append(missing, ":"+st.params[i])
+		}
+	}
+	if len(missing) > 0 {
+		return nil, fmt.Errorf("server: unbound parameters %s", strings.Join(missing, ", "))
+	}
+
+	cp, cached, err := ss.plan(st)
+	if err != nil {
+		return nil, err
+	}
+	if len(cp.params) != len(st.binds) {
+		return nil, fmt.Errorf("server: plan expects %d parameters, statement has %d", len(cp.params), len(st.binds))
+	}
+
+	ss.srv.ddl.RLock()
+	res, err := exec.RunParams(ss.ctx, ss.srv.db, cp.plan, st.binds)
+	ss.srv.ddl.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	st.cursor = make([][]datum.Datum, len(res.Rows))
+	for i, r := range res.Rows {
+		st.cursor[i] = r
+	}
+	st.pos = 0
+	st.open = true
+	if st.id == 0 {
+		// One-shot statements live at id 0 so the client can fetch the
+		// cursor; the next one-shot replaces it.
+		ss.stmts[0] = st
+	}
+	ss.executes.Add(1)
+	ss.srv.queries.Inc()
+	if cached {
+		ss.cacheHits.Add(1)
+	}
+	return &Response{Stmt: st.id, SQL: cp.sql, Cached: cached, RowCount: len(st.cursor), Params: cp.params}, nil
+}
+
+// plan resolves the statement's physical plan through the shared cache
+// (or optimizes directly when the cache is off). The catalog version is
+// read under the DDL read lock so a concurrent ANALYZE can't slip between
+// versioning the key and optimizing against the new statistics.
+func (ss *session) plan(st *stmt) (*cachedPlan, bool, error) {
+	ss.srv.ddl.RLock()
+	defer ss.srv.ddl.RUnlock()
+	key := plancache.Key{
+		SQL:      st.norm,
+		Strategy: ss.strategy,
+		Version:  ss.srv.db.Catalog.Version(),
+	}
+	if ss.srv.cache == nil {
+		cp, err := ss.optimize(st.sql)
+		return cp, false, err
+	}
+	v, shared, err := ss.srv.cache.GetOrCompute(key, func() (any, error) {
+		return ss.optimize(st.sql)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*cachedPlan), shared, nil
+}
+
+// optimize runs the full parse → bind → CBQT pipeline for one statement.
+func (ss *session) optimize(sql string) (*cachedPlan, error) {
+	q, err := qtree.BindSQL(sql, ss.srv.db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	o := &cbqt.Optimizer{Cat: ss.srv.db.Catalog, Opts: ss.opts}
+	res, err := o.OptimizeContext(ss.ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &cachedPlan{plan: res.Plan, params: res.Query.Params, sql: res.Query.SQL()}, nil
+}
+
+func (ss *session) fetch(req *Request) (*Response, error) {
+	st, err := ss.lookup(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !st.open {
+		return nil, fmt.Errorf("server: statement %d has no open cursor", st.id)
+	}
+	n := req.MaxRows
+	if n <= 0 {
+		n = DefaultFetchRows
+	}
+	end := st.pos + n
+	if end > len(st.cursor) {
+		end = len(st.cursor)
+	}
+	batch := make([][]WireDatum, 0, end-st.pos)
+	for _, row := range st.cursor[st.pos:end] {
+		batch = append(batch, EncodeRow(row))
+	}
+	st.pos = end
+	done := st.pos >= len(st.cursor)
+	ss.fetches.Add(1)
+	ss.rowsSent.Add(int64(len(batch)))
+	ss.srv.fetches.Inc()
+	ss.srv.rowsSent.Add(int64(len(batch)))
+	return &Response{Stmt: st.id, Rows: batch, Done: done}, nil
+}
+
+func (ss *session) closeStmt(req *Request) (*Response, error) {
+	st, err := ss.lookup(req.Stmt)
+	if err != nil {
+		return nil, err
+	}
+	delete(ss.stmts, st.id)
+	return &Response{Stmt: st.id}, nil
+}
+
+// analyze re-collects statistics under the DDL write lock and sweeps
+// now-stale plans from the shared cache.
+func (ss *session) analyze(req *Request) (*Response, error) {
+	if ss.srv.Draining() {
+		return nil, ErrDraining
+	}
+	ss.srv.ddl.Lock()
+	err := ss.srv.db.AnalyzeTable(req.Table)
+	version := ss.srv.db.Catalog.Version()
+	ss.srv.ddl.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if ss.srv.cache != nil {
+		ss.srv.cache.Invalidate(version)
+	}
+	return &Response{}, nil
+}
+
+func (ss *session) metrics(*Request) (*Response, error) {
+	snap := ss.srv.reg.Snapshot()
+	m := make(map[string]int64, len(snap.Counters)+len(snap.Gauges))
+	for k, v := range snap.Counters {
+		m[k] = v
+	}
+	for k, v := range snap.Gauges {
+		m[k] = v
+	}
+	return &Response{Metrics: m, Session: ss.stats()}, nil
+}
+
+func (ss *session) stats() *SessionStats {
+	return &SessionStats{
+		ID:        ss.id,
+		Prepared:  ss.prepared.Load(),
+		Executes:  ss.executes.Load(),
+		CacheHits: ss.cacheHits.Load(),
+		Fetches:   ss.fetches.Load(),
+		RowsSent:  ss.rowsSent.Load(),
+	}
+}

@@ -150,6 +150,14 @@ type ColRef struct {
 // Rownum is Oracle's ROWNUM pseudo-column.
 type Rownum struct{}
 
+// Param is a bind parameter placeholder. Named parameters (":name") carry
+// the name; positional parameters ("?") have Name == "" and are identified
+// by Pos, their zero-based occurrence order in the statement.
+type Param struct {
+	Name string
+	Pos  int
+}
+
 // BinExpr is a binary operation. Op is one of: + - * / || = <> < <= > >=
 // AND OR.
 type BinExpr struct {
@@ -262,6 +270,7 @@ func (*NullLit) astNode()        {}
 func (*BoolLit) astNode()        {}
 func (*ColRef) astNode()         {}
 func (*Rownum) astNode()         {}
+func (*Param) astNode()          {}
 func (*BinExpr) astNode()        {}
 func (*UnaryExpr) astNode()      {}
 func (*NotExpr) astNode()        {}
@@ -281,6 +290,7 @@ func (*NullLit) exprNode()        {}
 func (*BoolLit) exprNode()        {}
 func (*ColRef) exprNode()         {}
 func (*Rownum) exprNode()         {}
+func (*Param) exprNode()          {}
 func (*BinExpr) exprNode()        {}
 func (*UnaryExpr) exprNode()      {}
 func (*NotExpr) exprNode()        {}

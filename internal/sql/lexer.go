@@ -88,6 +88,19 @@ func (l *Lexer) Next() (Token, error) {
 		case '(', ')', ',', '.', '+', '-', '*', '/', '=', '<', '>':
 			l.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
+		case '?':
+			l.pos++
+			return Token{Kind: TokParam, Pos: start}, nil
+		case ':':
+			l.pos++
+			if l.pos >= len(l.src) || !isIdentStart(l.src[l.pos]) {
+				return Token{}, fmt.Errorf("sql: expected parameter name after ':' at offset %d", start)
+			}
+			nameStart := l.pos
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			return Token{Kind: TokParam, Text: l.src[nameStart:l.pos], Pos: start}, nil
 		}
 		return Token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, l.pos)
 	}

@@ -713,6 +713,20 @@ func (p *Parser) parsePrimary() (Expr, error) {
 		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
 	case TokIdent:
 		return p.parseIdentExpr()
+	case TokParam:
+		p.next()
+		if t.Text != "" {
+			return &Param{Name: t.Text}, nil
+		}
+		// Positional "?": the ordinal is its occurrence order in the token
+		// stream, which is stable under parser backtracking.
+		pos := 0
+		for i := 0; i < p.pos-1; i++ {
+			if p.toks[i].Kind == TokParam && p.toks[i].Text == "" {
+				pos++
+			}
+		}
+		return &Param{Pos: pos}, nil
 	case TokSymbol:
 		if t.Text == "(" {
 			p.next()

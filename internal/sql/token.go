@@ -19,6 +19,7 @@ const (
 	TokNumber
 	TokString
 	TokSymbol // punctuation and operators: ( ) , . + - * / = <> < <= > >= ||
+	TokParam  // bind parameter: ":name" (Text = name) or "?" (Text = "")
 )
 
 // Token is one lexical token with its source position.
@@ -34,6 +35,11 @@ func (t Token) String() string {
 		return "end of input"
 	case TokString:
 		return fmt.Sprintf("'%s'", t.Text)
+	case TokParam:
+		if t.Text == "" {
+			return "?"
+		}
+		return ":" + t.Text
 	default:
 		return t.Text
 	}

@@ -211,10 +211,53 @@ func (db *DB) Table(name string) *Table {
 }
 
 // Finalize builds all indexes and collects statistics for every table.
-// Call after loading data.
+// Call after loading data. It counts as one statistics change.
 func (db *DB) Finalize() {
 	for _, t := range db.tables {
 		t.BuildIndexes()
 		t.Meta.Stats = Analyze(t)
 	}
+	db.Catalog.BumpVersion()
+}
+
+// AnalyzeTable recollects optimizer statistics for one table (ANALYZE), or
+// for every table when name is "". It rebuilds indexes over any rows
+// appended since the last build and bumps the catalog's statistics version
+// so shared plan caches invalidate plans chosen under the old statistics.
+func (db *DB) AnalyzeTable(name string) error {
+	if name == "" {
+		db.Finalize()
+		return nil
+	}
+	t := db.Table(name)
+	if t == nil {
+		return fmt.Errorf("storage: table %s does not exist", name)
+	}
+	t.BuildIndexes()
+	t.Meta.Stats = Analyze(t)
+	db.Catalog.BumpVersion()
+	return nil
+}
+
+// CreateIndex adds a secondary index to an existing table (CREATE INDEX),
+// builds it, and bumps the catalog's DDL version.
+func (db *DB) CreateIndex(table string, idx *catalog.Index) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("storage: table %s does not exist", table)
+	}
+	for _, have := range t.Meta.Indexes {
+		if have.Name == idx.Name {
+			return fmt.Errorf("storage: index %s already exists on %s", idx.Name, t.Meta.Name)
+		}
+	}
+	for _, c := range idx.Cols {
+		if c < 0 || c >= len(t.Meta.Cols) {
+			return fmt.Errorf("storage: index %s: column ordinal %d out of range", idx.Name, c)
+		}
+	}
+	t.Meta.Indexes = append(t.Meta.Indexes, idx)
+	t.BuildIndexes()
+	db.Catalog.BumpVersion()
+	return nil
 }

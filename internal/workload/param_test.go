@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+)
+
+func TestParameterizeBasics(t *testing.T) {
+	src := "SELECT e.EMP_ID FROM employees e WHERE e.DEPT_ID = 40 AND e.SALARY > 2500.5"
+	pq, ok := Parameterize(src, 3, 7)
+	if !ok {
+		t.Fatal("no literals found")
+	}
+	if len(pq.Names) != 2 || pq.Names[0] != "P1" || pq.Names[1] != "P2" {
+		t.Fatalf("names = %v", pq.Names)
+	}
+	if !strings.Contains(pq.SQL, ":P1") || !strings.Contains(pq.SQL, ":P2") || strings.Contains(pq.SQL, "40") {
+		t.Fatalf("rewrite left literals behind: %s", pq.SQL)
+	}
+	if got := pq.Literal(0); got != src {
+		t.Fatalf("set 0 must reproduce the original text:\n%s\nvs\n%s", got, src)
+	}
+	if pq.Literal(1) == src && pq.Literal(2) == src {
+		t.Fatal("jittered sets never changed a value")
+	}
+	// Int literals stay ints in every set.
+	for s := range pq.Sets {
+		if pq.Sets[s][0].Kind().String() != "INT" {
+			t.Fatalf("set %d: DEPT_ID value became %s", s, pq.Sets[s][0].Kind())
+		}
+	}
+}
+
+func TestParameterizeSkipsRownum(t *testing.T) {
+	src := "SELECT e.EMP_ID FROM employees e WHERE e.SALARY > 1000 AND rownum <= 10"
+	pq, ok := Parameterize(src, 1, 1)
+	if !ok {
+		t.Fatal("salary literal should be parameterized")
+	}
+	if !strings.Contains(pq.SQL, "rownum <= 10") {
+		t.Fatalf("ROWNUM bound was parameterized: %s", pq.SQL)
+	}
+	if len(pq.Names) != 1 {
+		t.Fatalf("names = %v, want just the salary literal", pq.Names)
+	}
+}
+
+// TestParameterizedWorkloadBinds proves every parameterized workload query
+// still parses and binds, with the parameter count matching the names.
+func TestParameterizedWorkloadBinds(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	cfg := DefaultConfig(3, 60, testkit.SmallSizes().Employees, testkit.SmallSizes().Departments, testkit.SmallSizes().Jobs)
+	cfg.RelevantFraction = 0.5
+	params := 0
+	for _, wq := range Generate(cfg) {
+		pq, ok := Parameterize(wq.SQL, 2, 11)
+		if !ok {
+			continue
+		}
+		params++
+		q, err := qtree.BindSQL(pq.SQL, db.Catalog)
+		if err != nil {
+			t.Fatalf("query %d (%s) no longer binds:\n%s\n%v", wq.ID, wq.Class, pq.SQL, err)
+		}
+		if len(q.Params) != len(pq.Names) {
+			t.Fatalf("query %d: binder found %v, rewriter produced %v", wq.ID, q.Params, pq.Names)
+		}
+	}
+	if params < 30 {
+		t.Fatalf("only %d/60 workload queries were parameterizable", params)
+	}
+}
