@@ -60,13 +60,14 @@ func main() {
 	maxStates := flag.Int("max-states", 0, "cap on transformation states evaluated per query (0 = unlimited)")
 	maxMem := flag.Int64("max-mem", 0, "approximate memory budget in bytes for copied trees and the cost cache (0 = unlimited)")
 	faults := flag.String("faults", "", "comma-separated fault injections, e.g. 'panic@apply:GBP,error@state:Unnest#3,delay(2ms)@state:*'")
+	chk := flag.Bool("check", true, "statically verify every transformation state and the final plan; violations quarantine the offending rule")
 	connect := flag.String("connect", "", "run as a client of the cbqtd daemon at this address")
 	var binds bindFlags
 	flag.Var(&binds, "bind", "bind parameter as name=value (repeatable; value parsed as int, float, then string)")
 	flag.Parse()
 
 	if *connect != "" {
-		runRemote(*connect, *strategy, *timeout, *maxStates, binds, *maxRows)
+		runRemote(*connect, *strategy, *timeout, *maxStates, *chk, binds, *maxRows)
 		return
 	}
 
@@ -90,6 +91,7 @@ func main() {
 		os.Exit(2)
 	}
 	opts.Parallelism = *parallel
+	opts.Check = *chk
 	opts.Budget = cbqt.Budget{Timeout: *timeout, MaxStates: *maxStates, MaxMemBytes: *maxMem}
 	if *faults != "" {
 		fs, err := faultinject.Parse(*faults)

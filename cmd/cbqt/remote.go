@@ -43,11 +43,12 @@ func parseDatum(s string) datum.Datum {
 }
 
 // runRemote executes queries against a cbqtd daemon instead of in-process.
-func runRemote(addr, strategy string, timeout time.Duration, maxStates int, binds []server.BindValue, maxRows int) {
+func runRemote(addr, strategy string, timeout time.Duration, maxStates int, chk bool, binds []server.BindValue, maxRows int) {
 	cli, err := server.Dial(addr, &server.SessionOptions{
 		Strategy:  strategy,
 		TimeoutMS: timeout.Milliseconds(),
 		MaxStates: maxStates,
+		Check:     &chk,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)

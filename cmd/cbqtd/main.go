@@ -37,6 +37,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "data generation seed")
 	strategy := flag.String("strategy", "auto", "default state-space search: auto, exhaustive, iterative, linear, two-pass")
 	cacheOff := flag.Bool("cache-off", false, "disable the shared plan cache (every execute optimizes)")
+	chk := flag.Bool("check", false, "statically verify every transformation state and plan served (sessions can override per-statement)")
 	cacheEntries := flag.Int("cache-entries", 0, "plan cache bound (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to finish")
 	metricsEvery := flag.Duration("metrics-every", 0, "periodically log the metrics registry (0 = never)")
@@ -54,6 +55,7 @@ func main() {
 	}
 
 	opts := cbqt.DefaultOptions()
+	opts.Check = *chk
 	switch *strategy {
 	case "auto":
 		opts.Strategy = cbqt.StrategyAuto

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/optimizer"
 	"repro/internal/qtree"
 )
@@ -89,10 +90,14 @@ func (e *TransformError) Error() string {
 func (e *TransformError) Unwrap() error { return e.Err }
 
 // class is the failure class carried in trace events: "panic" for recovered
-// panics, "error" for returned errors.
+// panics, "check" for static-checker violations, "error" for other
+// returned errors.
 func (e *TransformError) class() string {
 	if e.Panic != nil {
 		return "panic"
+	}
+	if _, ok := IsCheckViolation(e.Err); ok {
+		return checkEventReason
 	}
 	return "error"
 }
@@ -121,6 +126,11 @@ type budgetTracker struct {
 
 	maxDepth int // 0 = unlimited
 
+	// preSummary is the contract summary of the query a rule search starts
+	// from (Options.Check only). o.search writes it before dispatching
+	// workers; evalState reads it concurrently but never writes.
+	preSummary *check.Summary
+
 	mu     sync.Mutex
 	reason DegradeReason
 }
@@ -138,6 +148,7 @@ func newBudgetTracker(ctx context.Context, b Budget, q *qtree.Query, cache *opti
 		cacheBytes:    func() int64 { return 0 },
 	}
 	if b.Timeout > 0 {
+		//lint:allow nodeterm the wall-clock budget is the feature; capped searches stay deterministic because reserve grants states in enumeration order
 		t.deadline = time.Now().Add(b.Timeout)
 	}
 	if d, ok := ctx.Deadline(); ok && (t.deadline.IsZero() || d.Before(t.deadline)) {
@@ -173,6 +184,7 @@ func (t *budgetTracker) expired() bool {
 		return true
 	default:
 	}
+	//lint:allow nodeterm the wall-clock budget is the feature; expiry degrades the search to its best state, recorded in Stats.Degraded
 	if !t.deadline.IsZero() && time.Now().After(t.deadline) {
 		t.trip(DegradeDeadline)
 		return true

@@ -19,9 +19,11 @@ package cbqt
 import (
 	"context"
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/check"
 	"repro/internal/faultinject"
 	"repro/internal/obsv"
 	"repro/internal/optimizer"
@@ -145,7 +147,25 @@ type Options struct {
 	// named sites of the optimize path (see package faultinject). Injected
 	// panics and errors degrade the search; they never fail the query.
 	Faults *faultinject.Set
+	// Check runs the static semantic checker (package check) over the
+	// query tree and plan at every seam of the optimize path: the input
+	// query, the tree after the heuristic phase, every transformation
+	// state evaluated by the search (tree, per-rule contract, and costed
+	// plan), the tree after the winning directives are applied, and the
+	// final physical plan. A violation in a transformation state or in the
+	// winner/heuristic application quarantines the offending rule through
+	// the same machinery that isolates panics, deterministically at every
+	// parallelism level; a violation in the input query or the final plan
+	// fails the optimization. Violations count through Options.Metrics
+	// (cbqt.check_violations and per-class counters).
+	Check bool
 }
+
+// defaultCheck is the Options.Check value DefaultOptions hands out. It is
+// false for production callers (the -check flags opt in) and flipped to
+// true by this package's test suite, so every differential, fault, golden,
+// and parallel test runs with the static checker armed.
+var defaultCheck = false
 
 // DefaultOptions mirror the paper's configuration.
 func DefaultOptions() Options {
@@ -159,6 +179,7 @@ func DefaultOptions() Options {
 		CostCutoff:          true,
 		AnnotationReuse:     true,
 		Seed:                1,
+		Check:               defaultCheck,
 	}
 }
 
@@ -193,6 +214,9 @@ type Stats struct {
 	// QuarantinedRules lists transformations disabled for the rest of the
 	// query after a failure, in quarantine order.
 	QuarantinedRules []string
+	// CheckViolations counts static-checker violations found during this
+	// optimization (Options.Check); a clean run keeps it zero.
+	CheckViolations int
 	// CacheHits/CacheMisses/CacheEvictions snapshot the cost-annotation
 	// cache counters for this optimization. CacheHits counts the same
 	// events as AnnotationHits, measured at the cache rather than summed
@@ -245,6 +269,7 @@ func (o *Optimizer) Optimize(q *qtree.Query) (*Result, error) {
 // recording the reason. The final physical optimization always runs, so a
 // plan comes back even when the budget never admitted a single state.
 func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Result, error) {
+	//lint:allow nodeterm OptimizeTime is an observability stat; nothing downstream branches on it
 	start := time.Now()
 	stats := Stats{StatesByRule: map[string]int{}}
 
@@ -263,6 +288,9 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 	}
 	tracker := newBudgetTracker(ctx, o.Opts.Budget, q, cache)
 
+	if err := o.checkedInput(q, &stats); err != nil {
+		return nil, err
+	}
 	if !o.Opts.SkipHeuristics {
 		if err := o.protectedHeuristics(q, &stats); err != nil {
 			return nil, err
@@ -348,7 +376,7 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 		// Transfer the winning directives onto the original tree (§3.1).
 		winner := obsv.WinnerUntransformed
 		if !best.isZero() {
-			if o.applyWinner(q, r, best, quarantine) {
+			if o.applyWinner(q, r, best, quarantine, &stats) {
 				tracker.noteDepth(weight(best))
 				winner = obsv.WinnerApplied
 			} else {
@@ -383,6 +411,13 @@ func (o *Optimizer) OptimizeContext(ctx context.Context, q *qtree.Query) (*Resul
 	if err != nil {
 		return nil, err
 	}
+	if o.Opts.Check {
+		if vs := check.Plan(plan); len(vs) > 0 {
+			o.countCheckViolations(&stats, vs)
+			return nil, fmt.Errorf("cbqt: final plan failed the static checker: %w", vs.Err())
+		}
+	}
+	//lint:allow nodeterm OptimizeTime is an observability stat; nothing downstream branches on it
 	stats.OptimizeTime = time.Since(start)
 	o.publishMetrics(&stats)
 	return &Result{Query: q, Plan: plan, Stats: stats}, nil
@@ -400,6 +435,11 @@ const (
 	MetricQuarantines     = "cbqt.quarantines"
 	MetricDegradedPrefix  = "cbqt.degraded."
 	MetricOptimizeMS      = "cbqt.optimize_ms"
+	// MetricCheckViolations counts static-checker violations; the
+	// per-class breakdown is published under MetricCheckViolationsPrefix
+	// plus the check.Class (e.g. "cbqt.check_violations.type-mismatch").
+	MetricCheckViolations       = "cbqt.check_violations"
+	MetricCheckViolationsPrefix = "cbqt.check_violations."
 )
 
 // publishMetrics folds one optimization's Stats into Options.Metrics (a
@@ -451,6 +491,18 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 		}
 		return herr
 	}
+	if o.Opts.Check {
+		if vs := check.Query(q); len(vs) > 0 {
+			// A heuristic pass broke the tree: restore the pre-heuristics
+			// form and continue with it, like any other heuristics fault.
+			q.AdoptFrom(backup)
+			o.countCheckViolations(stats, vs)
+			stats.TransformErrors = append(stats.TransformErrors,
+				&TransformError{Rule: "heuristics", Err: vs})
+			o.traceCheckFault(stats)
+			return nil
+		}
+	}
 	o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: "ok"})
 	return nil
 }
@@ -460,7 +512,7 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 // failure the tree is restored from a backup clone via AdoptFrom — which
 // keeps from-ID allocation owned by q, so the non-fault path and the SQL it
 // generates are untouched — and the rule is quarantined.
-func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, quarantine func(string, *TransformError)) (applied bool) {
+func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, quarantine func(string, *TransformError), stats *Stats) (applied bool) {
 	backup, _ := q.Clone()
 	fail := func(p any, err error, stk string) {
 		q.AdoptFrom(backup)
@@ -476,9 +528,23 @@ func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, qu
 		fail(nil, err, "")
 		return false
 	}
+	if o.Opts.Check {
+		if vs := check.CheckContract(r.Name(), check.Summarize(backup), q); len(vs) > 0 {
+			o.countCheckViolations(stats, vs)
+			fail(nil, vs, "")
+			return false
+		}
+	}
 	if !o.Opts.SkipHeuristics {
 		if err := o.applyHeuristics(q); err != nil {
 			fail(nil, err, "")
+			return false
+		}
+	}
+	if o.Opts.Check {
+		if vs := check.Query(q); len(vs) > 0 {
+			o.countCheckViolations(stats, vs)
+			fail(nil, vs, "")
 			return false
 		}
 	}

@@ -1,0 +1,68 @@
+package cbqt
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/obsv"
+	"repro/internal/qtree"
+)
+
+// countCheckViolations folds static-checker findings into the per-state
+// Stats and the metrics registry: the total under MetricCheckViolations
+// and one counter per violation class. Safe from parallel workers — Stats
+// is per-worker (merged in enumeration order) and obsv counters are
+// atomic.
+func (o *Optimizer) countCheckViolations(stats *Stats, vs check.Violations) {
+	stats.CheckViolations += len(vs)
+	reg := o.Opts.Metrics
+	reg.Counter(MetricCheckViolations).Add(int64(len(vs)))
+	for _, v := range vs {
+		reg.Counter(MetricCheckViolationsPrefix + string(v.Class)).Inc()
+	}
+}
+
+// checkFault converts checker findings on a transformation state into the
+// quarantine path: a *TransformError carrying the Violations, which the
+// search surfaces in enumeration order so the offending rule is
+// quarantined identically at every parallelism level.
+func (o *Optimizer) checkFault(rule, st string, stats *Stats, vs check.Violations) *TransformError {
+	o.countCheckViolations(stats, vs)
+	return &TransformError{Rule: rule, State: st, Err: vs}
+}
+
+// checkedInput verifies the query handed to OptimizeContext before any
+// transformation runs. A malformed input is the caller's bug, not a
+// transformation's: it fails the optimization instead of quarantining.
+func (o *Optimizer) checkedInput(q *qtree.Query, stats *Stats) error {
+	if !o.Opts.Check {
+		return nil
+	}
+	if vs := check.Query(q); len(vs) > 0 {
+		o.countCheckViolations(stats, vs)
+		return fmt.Errorf("cbqt: input query failed the static checker: %w", vs.Err())
+	}
+	return nil
+}
+
+// IsCheckViolation reports whether err carries static-checker violations
+// (possibly wrapped in a *TransformError), and returns them.
+func IsCheckViolation(err error) (check.Violations, bool) {
+	var vs check.Violations
+	if errors.As(err, &vs) {
+		return vs, true
+	}
+	return nil, false
+}
+
+// checkEventReason is the trace/quarantine reason for checker findings.
+const checkEventReason = "check"
+
+// traceCheckFault emits the heuristics-phase fault event for checker
+// findings; split out so protectedHeuristics stays readable.
+func (o *Optimizer) traceCheckFault(stats *Stats) {
+	o.traceEvent(stats, obsv.SearchEvent{
+		Ev: obsv.EvHeuristics, Outcome: obsv.OutcomeFault, Reason: checkEventReason,
+	})
+}

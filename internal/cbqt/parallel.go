@@ -172,6 +172,7 @@ func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost 
 		res := &results[i]
 		stats.BlocksOptimized += res.stats.BlocksOptimized
 		stats.AnnotationHits += res.stats.AnnotationHits
+		stats.CheckViolations += res.stats.CheckViolations
 		stats.Trace = append(stats.Trace, res.stats.Trace...)
 		stats.Events = append(stats.Events, res.stats.Events...)
 		stats.TransformErrors = append(stats.TransformErrors, res.stats.TransformErrors...)

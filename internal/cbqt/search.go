@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/faultinject"
 	"repro/internal/obsv"
 	"repro/internal/optimizer"
@@ -30,6 +31,7 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 	// per evaluation, at the return point that decided the outcome.
 	began := time.Time{}
 	if o.Opts.Trace {
+		//lint:allow nodeterm trace timings are observability-only; golden-trace comparisons strip ElapsedUS
 		began = time.Now()
 	}
 	stateEvent := func(outcome, reason string, c float64, blocks, hits int) {
@@ -40,6 +42,7 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 			Ev: obsv.EvState, Rule: r.Name(), State: stateKey(s),
 			Outcome: outcome, Reason: reason, Cost: c,
 			Blocks: blocks, CacheHits: hits,
+			//lint:allow nodeterm trace timings are observability-only; golden-trace comparisons strip ElapsedUS
 			ElapsedUS: time.Since(began).Microseconds(),
 		})
 	}
@@ -69,6 +72,14 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 		stateEvent(obsv.OutcomeInfeasible, reason, 0, 0, 0)
 		return 0, errInfeasible
 	}
+	if o.Opts.Check && !s.isZero() {
+		// Per-rule contract, before the heuristic re-pass: heuristics may
+		// legally drop tables (join elimination), the rule may not.
+		if vs := check.CheckContract(r.Name(), tracker.preSummary, clone); len(vs) > 0 {
+			stateEvent(obsv.OutcomeFault, checkEventReason, 0, 0, 0)
+			return 0, o.checkFault(r.Name(), stateKey(s), stats, vs)
+		}
+	}
 	if !o.Opts.SkipHeuristics && !s.isZero() {
 		if herr := o.applyHeuristics(clone); herr != nil {
 			if errors.Is(herr, faultinject.ErrInjected) {
@@ -78,6 +89,14 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 				return 0, errInfeasible
 			}
 			return 0, herr
+		}
+	}
+	if o.Opts.Check && !s.isZero() {
+		// Full semantic check of the state the physical optimizer is
+		// about to trust. The zero state equals the already-checked input.
+		if vs := check.Query(clone); len(vs) > 0 {
+			stateEvent(obsv.OutcomeFault, checkEventReason, 0, 0, 0)
+			return 0, o.checkFault(r.Name(), stateKey(s), stats, vs)
 		}
 	}
 	p := optimizer.New(o.Cat)
@@ -107,6 +126,12 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 		}
 		return 0, perr
 	}
+	if o.Opts.Check && !s.isZero() {
+		if vs := check.Plan(plan); len(vs) > 0 {
+			stateEvent(obsv.OutcomeFault, checkEventReason, 0, 0, 0)
+			return 0, o.checkFault(r.Name(), stateKey(s), stats, vs)
+		}
+	}
 	if o.Opts.Trace {
 		stats.Trace = append(stats.Trace, StateEval{Rule: r.Name(), State: stateKey(s), Cost: plan.Cost.Total})
 	}
@@ -120,6 +145,11 @@ func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strate
 	variants := make([]int, n)
 	for i := 0; i < n; i++ {
 		variants[i] = r.Variants(q, i)
+	}
+	if o.Opts.Check {
+		// The contract pre-state for every state this search evaluates:
+		// q is not mutated until the winner is applied, after the search.
+		tracker.preSummary = check.Summarize(q)
 	}
 	// Parallelism 1 runs the original single-threaded searches; the
 	// parallel engine (parallel.go) selects the same state at any worker

@@ -1,0 +1,646 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+)
+
+// Query statically verifies q — column resolution, expression typing,
+// structural invariants and grouping discipline — and returns every
+// violation found (nil when the query is clean). It never executes
+// anything, never mutates q, and never panics on malformed input: a broken
+// node is reported and typed as Any so checking continues past it.
+func Query(q *qtree.Query) Violations {
+	if q == nil {
+		return Violations{&Violation{Class: ClassDanglingLink, Detail: "nil query"}}
+	}
+	c := newChecker(q)
+	if q.Root == nil {
+		c.add(&Violation{Class: ClassDanglingLink, Detail: "query has no root block"})
+		return c.vs
+	}
+	c.checkBlock(q.Root, nil)
+	return c.vs
+}
+
+// checker accumulates violations while walking one query.
+type checker struct {
+	q  *qtree.Query
+	vs Violations
+	// seen guards against a block appearing in two tree positions (an
+	// aliased or cyclic structure left by a broken transformation).
+	seen map[*qtree.Block]bool
+	// blockIDs / fromDef verify query-unique identities.
+	blockIDs map[int]bool
+	fromDef  map[qtree.FromID]int // from ID -> defining block ID
+	// outTypes memoizes the output column types of checked blocks, so
+	// references to a view resolve against its verified signature.
+	outTypes map[*qtree.Block][]Type
+	// cur is the scope of the block whose expressions are currently being
+	// typed; subquery expressions chain their block's scope from it.
+	cur *scope
+}
+
+func newChecker(q *qtree.Query) *checker {
+	return &checker{
+		q:        q,
+		seen:     map[*qtree.Block]bool{},
+		blockIDs: map[int]bool{},
+		fromDef:  map[qtree.FromID]int{},
+		outTypes: map[*qtree.Block][]Type{},
+	}
+}
+
+func (c *checker) add(v *Violation) { c.vs = append(c.vs, v) }
+
+// scope is the checker's name-resolution environment, mirroring the
+// binder's: the from items visible at one block, chained to enclosing
+// blocks for correlation. A set-operation ORDER BY scope carries the
+// operation's output signature instead, legalizing the Col{From: 0}
+// output-ordinal sentinel.
+type scope struct {
+	parent *scope
+	items  []*qtree.FromItem
+	// exclude hides one item from this level: a lateral view's body sees
+	// its siblings but never itself.
+	exclude qtree.FromID
+	// setArity > 0 marks a set-operation ORDER BY scope with that output
+	// arity; setTypes are the merged branch types.
+	setArity int
+	setTypes []Type
+}
+
+// lookup resolves a from ID against the scope chain, innermost first.
+// Ambiguity cannot arise here: from IDs are query-unique (verified
+// separately), so at most one visible item carries the ID.
+func (s *scope) lookup(id qtree.FromID) *qtree.FromItem {
+	for sc := s; sc != nil; sc = sc.parent {
+		if id == sc.exclude {
+			continue
+		}
+		for _, f := range sc.items {
+			if f != nil && f.ID == id {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// checkBlock verifies one block (and everything under it) in the given
+// outer scope and returns its output column types.
+func (c *checker) checkBlock(b *qtree.Block, outer *scope) []Type {
+	if b == nil {
+		c.add(&Violation{Class: ClassDanglingLink, Detail: "nil block"})
+		return nil
+	}
+	if c.seen[b] {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: "block appears in more than one tree position (aliased structure)"})
+		return c.outTypes[b]
+	}
+	c.seen[b] = true
+	if b.Query() != c.q {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: "block is owned by a different query"})
+	}
+	if c.blockIDs[b.ID] {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: fmt.Sprintf("duplicate block ID %d", b.ID)})
+	}
+	c.blockIDs[b.ID] = true
+	if b.Limit < 0 {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: fmt.Sprintf("negative limit %d", b.Limit)})
+	}
+	var types []Type
+	if b.Set != nil {
+		types = c.checkSetBlock(b, outer)
+	} else {
+		types = c.checkSelectBlock(b, outer)
+	}
+	c.outTypes[b] = types
+	return types
+}
+
+// checkSetBlock verifies a set-operation block: branch arity and type
+// agreement, no SELECT-field residue, and ORDER BY restricted to output
+// ordinals.
+func (c *checker) checkSetBlock(b *qtree.Block, outer *scope) []Type {
+	if len(b.Select)+len(b.From)+len(b.Where)+len(b.GroupBy)+len(b.Having) > 0 {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: "set-operation block carries SELECT-block fields (they would be silently ignored)"})
+	}
+	if b.Set.Kind > qtree.SetMinus {
+		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+			Detail: fmt.Sprintf("unknown set-operation kind %d", int(b.Set.Kind))})
+	}
+	if len(b.Set.Children) < 2 {
+		c.add(&Violation{Class: ClassArityMismatch, Block: b.ID,
+			Detail: fmt.Sprintf("set operation has %d branches; at least 2 are required", len(b.Set.Children))})
+	}
+	var merged []Type
+	first := true
+	for i, child := range b.Set.Children {
+		if child == nil {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("set-operation branch %d is nil", i)})
+			continue
+		}
+		ts := c.checkBlock(child, outer)
+		if first {
+			merged = append([]Type(nil), ts...)
+			first = false
+			continue
+		}
+		if len(ts) != len(merged) {
+			c.add(&Violation{Class: ClassArityMismatch, Block: b.ID,
+				Detail: fmt.Sprintf("set-operation branch %d has %d columns; branch 0 has %d", i, len(ts), len(merged))})
+		}
+		for j := 0; j < len(ts) && j < len(merged); j++ {
+			if !comparable(merged[j], ts[j]) {
+				c.add(&Violation{Class: ClassTypeMismatch, Block: b.ID,
+					Detail: fmt.Sprintf("set-operation column %d is incomparable across branches: %s vs %s", j, merged[j], ts[j])})
+			}
+			merged[j] = merge(merged[j], ts[j])
+		}
+	}
+	sc := &scope{parent: outer, setArity: len(merged), setTypes: merged}
+	if len(merged) == 0 {
+		// A broken set op still needs a non-zero arity so the sentinel
+		// check below reports ordinals rather than sentinel misuse.
+		sc.setArity = -1
+	}
+	prev := c.cur
+	c.cur = sc
+	colT := c.typerFor(sc, b.ID)
+	for _, o := range b.OrderBy {
+		c.typeExpr(o.Expr, b.ID, colT)
+		if qtree.ContainsAgg(o.Expr) || containsWin(o.Expr) {
+			c.add(&Violation{Class: ClassGrouping, Block: b.ID,
+				Detail: "aggregate or window function in a set-operation ORDER BY"})
+		}
+	}
+	c.cur = prev
+	return merged
+}
+
+// checkSelectBlock verifies a SELECT block: from-item structure, view
+// bodies, every expression, and the grouping/window discipline.
+func (c *checker) checkSelectBlock(b *qtree.Block, outer *scope) []Type {
+	sc := &scope{parent: outer, items: b.From}
+	anchors := 0
+	for _, f := range b.From {
+		if f == nil {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID, Detail: "nil from item"})
+			continue
+		}
+		if f.ID <= 0 {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from item %q has no identity (ID %d)", f.Alias, f.ID)})
+		} else if def, dup := c.fromDef[f.ID]; dup {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from ID q%d is defined in both block %d and block %d", f.ID, def, b.ID)})
+		} else {
+			c.fromDef[f.ID] = b.ID
+		}
+		switch {
+		case f.Table != nil && f.View != nil:
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from item %q is both a base table and a view", f.Alias)})
+		case f.Table == nil && f.View == nil:
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from item %q is neither a base table nor a view", f.Alias)})
+		}
+		if f.Kind > qtree.JoinFullOuter {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from item %q has unknown join kind %d", f.Alias, int(f.Kind))})
+		}
+		if f.Kind == qtree.JoinInner && len(f.Cond) > 0 {
+			c.add(&Violation{Class: ClassJoinOrder, Block: b.ID,
+				Detail: fmt.Sprintf("inner-join item %q carries a join condition (the planner would silently drop it)", f.Alias)})
+		}
+		if f.Lateral && f.Table != nil {
+			c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
+				Detail: fmt.Sprintf("from item %q is a lateral base table (only views can be lateral)", f.Alias)})
+		}
+		if f.Kind == qtree.JoinInner && !f.Lateral {
+			anchors++
+		}
+	}
+	if len(b.From) > 0 && anchors == 0 {
+		// Every non-inner right side and lateral view must follow some
+		// other item; a block with no inner, non-lateral item has no
+		// feasible join order.
+		c.add(&Violation{Class: ClassJoinOrder, Block: b.ID,
+			Detail: "no from item can anchor the join order (every item is a non-inner right side or a lateral view)"})
+	}
+
+	// Check view bodies: non-lateral views see only the enclosing query's
+	// outer scope (no siblings); lateral views additionally see their
+	// siblings, but never themselves. Non-lateral bodies go first so
+	// lateral sibling references resolve against verified signatures.
+	for _, f := range b.From {
+		if f != nil && f.View != nil && !f.Lateral {
+			c.checkBlock(f.View, outer)
+		}
+	}
+	for _, f := range b.From {
+		if f != nil && f.View != nil && f.Lateral {
+			c.checkBlock(f.View, &scope{parent: outer, items: b.From, exclude: f.ID})
+		}
+	}
+
+	prev := c.cur
+	c.cur = sc
+	colT := c.typerFor(sc, b.ID)
+
+	grouped := b.HasGroupBy()
+	types := make([]Type, 0, len(b.Select))
+	for _, it := range b.Select {
+		types = append(types, c.typeExpr(it.Expr, b.ID, colT))
+		c.checkNesting(it.Expr, b.ID)
+		if grouped && containsWin(it.Expr) {
+			c.add(&Violation{Class: ClassGrouping, Block: b.ID,
+				Detail: "window function in a grouped block"})
+		}
+	}
+	for _, e := range b.Where {
+		t := c.typeExpr(e, b.ID, colT)
+		c.requirePred(e, t, b.ID, "WHERE")
+		c.banAggWin(e, b.ID, "WHERE")
+	}
+	for _, f := range b.From {
+		if f == nil {
+			continue
+		}
+		for _, e := range f.Cond {
+			t := c.typeExpr(e, b.ID, colT)
+			c.requirePred(e, t, b.ID, "join condition")
+			c.banAggWin(e, b.ID, "join condition")
+		}
+	}
+	for _, e := range b.GroupBy {
+		c.typeExpr(e, b.ID, colT)
+		c.banAggWin(e, b.ID, "GROUP BY")
+	}
+	for _, e := range b.Having {
+		t := c.typeExpr(e, b.ID, colT)
+		c.requirePred(e, t, b.ID, "HAVING")
+		c.checkNesting(e, b.ID)
+		if containsWin(e) {
+			c.add(&Violation{Class: ClassGrouping, Block: b.ID, Detail: "window function in HAVING"})
+		}
+	}
+	for _, o := range b.OrderBy {
+		c.typeExpr(o.Expr, b.ID, colT)
+		c.checkNesting(o.Expr, b.ID)
+		if containsWin(o.Expr) {
+			c.add(&Violation{Class: ClassGrouping, Block: b.ID, Detail: "window function in ORDER BY"})
+		}
+		if !grouped && qtree.ContainsAgg(o.Expr) {
+			c.add(&Violation{Class: ClassGrouping, Block: b.ID,
+				Detail: "aggregate in ORDER BY of a non-grouped block"})
+		}
+	}
+
+	c.checkGroupingSets(b)
+	if grouped {
+		c.checkGroupCoverage(b)
+	}
+	c.cur = prev
+	return types
+}
+
+// typerFor builds the column resolver+typer for expressions of one block.
+func (c *checker) typerFor(sc *scope, blockID int) colTyper {
+	return func(col *qtree.Col) Type {
+		if col.From == 0 {
+			// The set-operation output sentinel: legal only in a set-op
+			// ORDER BY, addressing an output ordinal.
+			if sc.setArity != 0 {
+				if col.Ord >= 0 && col.Ord < len(sc.setTypes) {
+					return sc.setTypes[col.Ord]
+				}
+				c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+					Detail: fmt.Sprintf("set-operation output ordinal %d out of range (arity %d)", col.Ord, len(sc.setTypes))})
+				return TAny
+			}
+			c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+				Detail: fmt.Sprintf("column %s uses the set-operation output sentinel outside a set-operation ORDER BY", col.Name)})
+			return TAny
+		}
+		f := sc.lookup(col.From)
+		if f == nil {
+			c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+				Detail: fmt.Sprintf("column %s references from item q%d, which is not visible at this depth", colName(col), col.From)})
+			return TAny
+		}
+		return c.itemColType(f, col, blockID)
+	}
+}
+
+// itemColType types a resolved column reference against its source.
+func (c *checker) itemColType(f *qtree.FromItem, col *qtree.Col, blockID int) Type {
+	switch {
+	case f.Table != nil:
+		if col.Ord >= 0 && col.Ord < len(f.Table.Cols) {
+			return TypeOfKind(f.Table.Cols[col.Ord].Type)
+		}
+		if col.Ord == f.Table.RowidOrdinal() {
+			return TInt
+		}
+		c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+			Detail: fmt.Sprintf("column %s ordinal %d is out of range for table %s (%d columns plus rowid)",
+				colName(col), col.Ord, f.Table.Name, len(f.Table.Cols))})
+		return TAny
+	case f.View != nil:
+		if ts, ok := c.outTypes[f.View]; ok {
+			if col.Ord >= 0 && col.Ord < len(ts) {
+				return ts[col.Ord]
+			}
+			c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+				Detail: fmt.Sprintf("column %s ordinal %d is out of range for view %s (%d columns)",
+					colName(col), col.Ord, f.Alias, len(ts))})
+			return TAny
+		}
+		// The view has not been checked yet (a lateral view referencing a
+		// lateral sibling): verify arity only.
+		if ar := safeArity(f.View, map[*qtree.Block]bool{}); col.Ord < 0 || col.Ord >= ar {
+			c.add(&Violation{Class: ClassUnresolvedColumn, Block: blockID,
+				Detail: fmt.Sprintf("column %s ordinal %d is out of range for view %s (%d columns)",
+					colName(col), col.Ord, f.Alias, ar)})
+		}
+		return TAny
+	}
+	return TAny // neither table nor view: already reported structurally
+}
+
+// typeSubq types a subquery predicate or scalar subquery, checking its
+// block in the enclosing block's scope (correlation).
+func (c *checker) typeSubq(v *qtree.Subq, blockID int, colT colTyper) Type {
+	if v.Block == nil {
+		c.add(&Violation{Class: ClassDanglingLink, Block: blockID,
+			Detail: fmt.Sprintf("%s subquery has a nil block", v.Kind)})
+		for _, l := range v.Left {
+			c.typeExpr(l, blockID, colT)
+		}
+		if v.Kind == qtree.SubqScalar {
+			return TAny
+		}
+		return TBool
+	}
+	sub := c.checkBlock(v.Block, c.cur)
+	switch v.Kind {
+	case qtree.SubqExists, qtree.SubqNotExists:
+		if len(v.Left) != 0 {
+			c.add(&Violation{Class: ClassArityMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s subquery carries %d outer comparison expressions", v.Kind, len(v.Left))})
+		}
+		return TBool
+	case qtree.SubqIn, qtree.SubqNotIn, qtree.SubqAnyCmp, qtree.SubqAllCmp:
+		if len(v.Left) != len(sub) {
+			c.add(&Violation{Class: ClassArityMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s compares %d outer expressions against %d subquery columns", v.Kind, len(v.Left), len(sub))})
+		}
+		for i, l := range v.Left {
+			lt := c.typeExpr(l, blockID, colT)
+			if i < len(sub) && !comparable(lt, sub[i]) {
+				c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+					Detail: fmt.Sprintf("%s column %d is incomparable with the subquery output: %s vs %s", v.Kind, i, lt, sub[i])})
+			}
+		}
+		if (v.Kind == qtree.SubqAnyCmp || v.Kind == qtree.SubqAllCmp) && !v.Op.IsComparison() {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s subquery requires a comparison operator, have %s", v.Kind, v.Op)})
+		}
+		return TBool
+	case qtree.SubqScalar:
+		if len(v.Left) != 0 {
+			c.add(&Violation{Class: ClassArityMismatch, Block: blockID,
+				Detail: fmt.Sprintf("scalar subquery carries %d outer comparison expressions", len(v.Left))})
+		}
+		if len(sub) != 1 {
+			c.add(&Violation{Class: ClassArityMismatch, Block: blockID,
+				Detail: fmt.Sprintf("scalar subquery returns %d columns; exactly 1 is required", len(sub))})
+			return TAny
+		}
+		return sub[0]
+	}
+	c.add(&Violation{Class: ClassDanglingLink, Block: blockID,
+		Detail: fmt.Sprintf("unknown subquery kind %d", int(v.Kind))})
+	return TAny
+}
+
+// checkParam verifies a bind parameter reference against the query's
+// parameter list: the ordinal must be in range and the name must match the
+// slot, so one optimized plan binds every bind set identically.
+func (c *checker) checkParam(p *qtree.Param, blockID int) {
+	if p.Ord < 0 || p.Ord >= len(c.q.Params) {
+		c.add(&Violation{Class: ClassParamOrdinal, Block: blockID,
+			Detail: fmt.Sprintf("parameter %s has ordinal %d outside the query's %d-slot parameter list", p.Name, p.Ord, len(c.q.Params))})
+		return
+	}
+	if c.q.Params[p.Ord] != p.Name {
+		c.add(&Violation{Class: ClassParamOrdinal, Block: blockID,
+			Detail: fmt.Sprintf("parameter %s has ordinal %d, but that slot is registered as %s", p.Name, p.Ord, c.q.Params[p.Ord])})
+	}
+}
+
+// banAggWin flags aggregate and window references in clauses that are
+// evaluated before (or independently of) aggregation.
+func (c *checker) banAggWin(e qtree.Expr, blockID int, where string) {
+	if qtree.ContainsAgg(e) {
+		c.add(&Violation{Class: ClassGrouping, Block: blockID,
+			Detail: fmt.Sprintf("aggregate function in %s", where)})
+	}
+	if containsWin(e) {
+		c.add(&Violation{Class: ClassGrouping, Block: blockID,
+			Detail: fmt.Sprintf("window function in %s", where)})
+	}
+}
+
+// checkNesting flags aggregates or window functions nested inside another
+// aggregate or window function argument.
+func (c *checker) checkNesting(e qtree.Expr, blockID int) {
+	qtree.WalkExpr(e, func(x qtree.Expr) bool {
+		switch v := x.(type) {
+		case *qtree.Agg:
+			if v.Arg != nil && (qtree.ContainsAgg(v.Arg) || containsWin(v.Arg)) {
+				c.add(&Violation{Class: ClassGrouping, Block: blockID,
+					Detail: fmt.Sprintf("aggregate or window function nested inside %s", v.Op)})
+			}
+		case *qtree.WinFunc:
+			nested := v.Arg != nil && (qtree.ContainsAgg(v.Arg) || containsWin(v.Arg))
+			for _, p := range v.PartitionBy {
+				nested = nested || qtree.ContainsAgg(p) || containsWin(p)
+			}
+			for _, o := range v.OrderBy {
+				nested = nested || qtree.ContainsAgg(o.Expr) || containsWin(o.Expr)
+			}
+			if nested {
+				c.add(&Violation{Class: ClassGrouping, Block: blockID,
+					Detail: fmt.Sprintf("aggregate or window function nested inside window %s", v.Op)})
+			}
+		case *qtree.Subq:
+			return false
+		}
+		return true
+	})
+}
+
+// checkGroupingSets verifies grouping-set indexes address GROUP BY entries.
+func (c *checker) checkGroupingSets(b *qtree.Block) {
+	for si, set := range b.GroupingSets {
+		for _, idx := range set {
+			if idx < 0 || idx >= len(b.GroupBy) {
+				c.add(&Violation{Class: ClassGrouping, Block: b.ID,
+					Detail: fmt.Sprintf("grouping set %d index %d is out of range (GROUP BY has %d entries)", si, idx, len(b.GroupBy))})
+			}
+		}
+	}
+}
+
+// checkGroupCoverage verifies the aggregation discipline of a grouped
+// block: every local column reference outside an aggregate, in the select
+// list, HAVING and ORDER BY, must be one of the grouping expressions —
+// otherwise the executor would read an arbitrary row of each group.
+// Correlated references are constants within one invocation, and GROUP BY
+// matching is structural (rendered form), so computed grouping keys cover
+// identical computed outputs.
+func (c *checker) checkGroupCoverage(b *qtree.Block) {
+	keys := map[string]bool{}
+	for _, g := range b.GroupBy {
+		if g != nil {
+			keys[g.String()] = true
+		}
+	}
+	local := b.LocalFromIDs()
+	report := func(where string, e qtree.Expr) {
+		c.add(&Violation{Class: ClassGrouping, Block: b.ID,
+			Detail: fmt.Sprintf("%s expression %s is neither aggregated nor grouped", where, e)})
+	}
+	for _, it := range b.Select {
+		if it.Expr != nil && !c.covered(it.Expr, keys, local) {
+			report("select", it.Expr)
+		}
+	}
+	for _, h := range b.Having {
+		if h != nil && !c.covered(h, keys, local) {
+			report("HAVING", h)
+		}
+	}
+	for _, o := range b.OrderBy {
+		if o.Expr != nil && !c.covered(o.Expr, keys, local) {
+			report("ORDER BY", o.Expr)
+		}
+	}
+}
+
+// covered reports whether e is computable per group: it is a grouping
+// expression, contains no local column references outside aggregates, or
+// is composed of covered parts.
+func (c *checker) covered(e qtree.Expr, keys map[string]bool, local map[qtree.FromID]bool) bool {
+	if e == nil {
+		return true // reported as dangling elsewhere
+	}
+	if keys[e.String()] {
+		return true
+	}
+	switch v := e.(type) {
+	case *qtree.Const, *qtree.Param, *qtree.Agg, *qtree.WinFunc:
+		return true
+	case *qtree.Col:
+		return !local[v.From]
+	case *qtree.Bin:
+		return c.covered(v.L, keys, local) && c.covered(v.R, keys, local)
+	case *qtree.Not:
+		return c.covered(v.E, keys, local)
+	case *qtree.IsNull:
+		return c.covered(v.E, keys, local)
+	case *qtree.Like:
+		return c.covered(v.E, keys, local) && c.covered(v.Pattern, keys, local)
+	case *qtree.InList:
+		if !c.covered(v.E, keys, local) {
+			return false
+		}
+		for _, x := range v.Vals {
+			if !c.covered(x, keys, local) {
+				return false
+			}
+		}
+		return true
+	case *qtree.Func:
+		for _, a := range v.Args {
+			if !c.covered(a, keys, local) {
+				return false
+			}
+		}
+		return true
+	case *qtree.LNNVL:
+		return c.covered(v.E, keys, local)
+	case *qtree.IsTrue:
+		return c.covered(v.E, keys, local)
+	case *qtree.Subq:
+		// The outer-side expressions must be per-group; references inside
+		// the subquery block to local ungrouped columns are correlation
+		// parameters the executor re-evaluates per row — accept them
+		// rather than over-reject transformed trees.
+		for _, l := range v.Left {
+			if !c.covered(l, keys, local) {
+				return false
+			}
+		}
+		return true
+	case *qtree.Case:
+		for _, w := range v.Whens {
+			if !c.covered(w.Cond, keys, local) || !c.covered(w.Result, keys, local) {
+				return false
+			}
+		}
+		return v.Else == nil || c.covered(v.Else, keys, local)
+	}
+	return false
+}
+
+// containsWin reports whether e contains a window-function reference
+// outside nested subquery blocks.
+func containsWin(e qtree.Expr) bool {
+	found := false
+	qtree.WalkExpr(e, func(x qtree.Expr) bool {
+		switch x.(type) {
+		case *qtree.WinFunc:
+			found = true
+			return false
+		case *qtree.Subq:
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// safeArity computes a block's output arity without touching memoized
+// state, guarding against cyclic structures.
+func safeArity(b *qtree.Block, seen map[*qtree.Block]bool) int {
+	if b == nil || seen[b] {
+		return 0
+	}
+	seen[b] = true
+	if b.Set != nil {
+		if len(b.Set.Children) == 0 {
+			return 0
+		}
+		return safeArity(b.Set.Children[0], seen)
+	}
+	return len(b.Select)
+}
+
+// colName renders a column for diagnostics.
+func colName(c *qtree.Col) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("q%d.#%d", c.From, c.Ord)
+}

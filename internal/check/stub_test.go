@@ -1,0 +1,64 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+)
+
+// TestPlanAcceptsCostStubs is the regression test for checked CBQT searches
+// over a warm annotation cache: cost-only plans replace already-costed
+// blocks with annotation stubs, and the plan checker must treat those as
+// opaque leaves rather than unknown operators (which would quarantine every
+// rule after its first state).
+func TestPlanAcceptsCostStubs(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 7)
+	q, err := qtree.BindSQL(
+		`SELECT e.emp_id FROM employees e WHERE e.salary > 100`, db.Catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := optimizer.New(db.Catalog)
+	p.Cache = optimizer.NewCostCache()
+	p.CostOnly = true
+	if _, err := p.Optimize(q); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally identical copy hits the cache, so its plan contains a
+	// cost stub in place of the cached block.
+	q2, _ := q.Clone()
+	plan, err := p.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Counters.CacheHits == 0 {
+		t.Fatal("second optimization did not hit the annotation cache; the test no longer exercises stubs")
+	}
+	stubs := 0
+	var walk func(n optimizer.PlanNode)
+	walk = func(n optimizer.PlanNode) {
+		if n == nil {
+			return
+		}
+		if optimizer.IsCostStub(n) {
+			stubs++
+		}
+		for _, ch := range n.Children() {
+			walk(ch)
+		}
+	}
+	walk(plan.Root)
+	for _, sp := range plan.Subplans {
+		if sp != nil {
+			walk(sp.Root)
+		}
+	}
+	if stubs == 0 {
+		t.Fatal("cached cost-only plan contains no stubs; the test no longer exercises the opaque-leaf path")
+	}
+	if vs := Plan(plan); len(vs) != 0 {
+		t.Fatalf("plan checker rejected a stub-bearing cost-only plan: %v", vs[0])
+	}
+}

@@ -1,0 +1,382 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/qtree"
+)
+
+// Type is the checker's static type lattice. It deliberately mirrors the
+// executor's coercion rules (exec/expr.go, datum/arith.go) rather than
+// strict SQL typing: Int and Float are inter-comparable and both widen to
+// Num, NULL literals and bind parameters type as Any (compatible with
+// everything), and predicates accept booleans and numerics (the executor's
+// TriFromDatum treats non-zero numbers as TRUE).
+type Type uint8
+
+// The lattice, ordered so that more specific types are larger.
+const (
+	TAny   Type = iota // statically unknown: NULL, params, opaque sources
+	TNum               // numeric, int-vs-float unknown (e.g. SUM over Any)
+	TInt               // 64-bit integer
+	TFloat             // float
+	TStr               // string
+	TBool              // boolean
+)
+
+var typeNames = [...]string{
+	TAny: "ANY", TNum: "NUM", TInt: "INT", TFloat: "FLOAT",
+	TStr: "STRING", TBool: "BOOL",
+}
+
+func (t Type) String() string { return typeNames[t] }
+
+// numeric reports whether the type can hold a number (Any included).
+func (t Type) numeric() bool { return t == TAny || t == TNum || t == TInt || t == TFloat }
+
+// TypeOfKind maps a catalog/datum kind to a checker type.
+func TypeOfKind(k datum.Kind) Type {
+	switch k {
+	case datum.KInt:
+		return TInt
+	case datum.KFloat:
+		return TFloat
+	case datum.KString:
+		return TStr
+	case datum.KBool:
+		return TBool
+	}
+	return TAny // NULL literal
+}
+
+// comparable reports whether the executor can order values of the two
+// types: numerics compare with each other, otherwise kinds must match
+// (datum.Compare), and Any is compatible with everything.
+func comparable(a, b Type) bool {
+	if a == TAny || b == TAny {
+		return true
+	}
+	if a.numeric() && b.numeric() {
+		return true
+	}
+	return a == b
+}
+
+// merge joins the types of two expression branches (CASE arms, set-op
+// columns): equal types keep themselves, distinct numerics widen to Num,
+// anything else collapses to Any. merge never fails — branch compatibility
+// is enforced by the caller with comparable.
+func merge(a, b Type) Type {
+	if a == b {
+		return a
+	}
+	if a == TAny || b == TAny {
+		return TAny
+	}
+	if a.numeric() && b.numeric() {
+		return TNum
+	}
+	return TAny
+}
+
+// colTyper resolves the static type of a resolved column reference. The
+// checker supplies it: resolution (which from item, which ordinal) has
+// already been verified by the time typing runs.
+type colTyper func(c *qtree.Col) Type
+
+// typeExpr computes the type of e bottom-up, appending a type-mismatch
+// violation for every ill-typed node it encounters. It keeps descending
+// after a mismatch (reporting the most violations per pass) and types the
+// broken node as Any so one defect does not cascade. blockID attributes
+// the violations.
+func (c *checker) typeExpr(e qtree.Expr, blockID int, colT colTyper) Type {
+	if e == nil {
+		c.add(&Violation{Class: ClassDanglingLink, Block: blockID, Detail: "nil expression"})
+		return TAny
+	}
+	mismatch := func(format string, args ...any) Type {
+		c.add(&Violation{Class: ClassTypeMismatch, Block: blockID, Detail: fmt.Sprintf(format, args...)})
+		return TAny
+	}
+	switch v := e.(type) {
+	case *qtree.Const:
+		return TypeOfKind(v.Val.Kind())
+
+	case *qtree.Param:
+		c.checkParam(v, blockID)
+		return TAny
+
+	case *qtree.Col:
+		return colT(v)
+
+	case *qtree.Bin:
+		lt := c.typeExpr(v.L, blockID, colT)
+		rt := c.typeExpr(v.R, blockID, colT)
+		switch v.Op {
+		case qtree.OpAdd:
+			// The executor's '+' concatenates two strings (datum.arith).
+			if lt == TStr && rt == TStr {
+				return TStr
+			}
+			fallthrough
+		case qtree.OpSub, qtree.OpMul:
+			if !lt.numeric() || !rt.numeric() {
+				return mismatch("%s requires numeric operands, have %s and %s", v.Op, lt, rt)
+			}
+			if lt == TInt && rt == TInt {
+				return TInt
+			}
+			if lt == TFloat || rt == TFloat {
+				return TFloat
+			}
+			return TNum
+		case qtree.OpDiv:
+			if !lt.numeric() || !rt.numeric() {
+				return mismatch("/ requires numeric operands, have %s and %s", lt, rt)
+			}
+			return TFloat
+		case qtree.OpConcat:
+			// The executor's || is strict (Datum.AsStr); the binder already
+			// rejects statically non-string operands.
+			if lt != TStr && lt != TAny {
+				return mismatch("|| requires string operands, left is %s", lt)
+			}
+			if rt != TStr && rt != TAny {
+				return mismatch("|| requires string operands, right is %s", rt)
+			}
+			return TStr
+		case qtree.OpAnd, qtree.OpOr:
+			c.requirePred(v.L, lt, blockID, string(binOpName(v.Op)))
+			c.requirePred(v.R, rt, blockID, string(binOpName(v.Op)))
+			return TBool
+		case qtree.OpNullSafeEq:
+			if !comparable(lt, rt) {
+				return mismatch("<=> operands are incomparable: %s vs %s", lt, rt)
+			}
+			return TBool
+		default: // comparisons
+			if !v.Op.IsComparison() {
+				return mismatch("unknown binary operator %d", int(v.Op))
+			}
+			if !comparable(lt, rt) {
+				return mismatch("%s operands are incomparable: %s vs %s", v.Op, lt, rt)
+			}
+			return TBool
+		}
+
+	case *qtree.Not:
+		t := c.typeExpr(v.E, blockID, colT)
+		c.requirePred(v.E, t, blockID, "NOT")
+		return TBool
+
+	case *qtree.IsNull:
+		c.typeExpr(v.E, blockID, colT)
+		return TBool
+
+	case *qtree.Like:
+		et := c.typeExpr(v.E, blockID, colT)
+		pt := c.typeExpr(v.Pattern, blockID, colT)
+		if et != TStr && et != TAny {
+			return mismatch("LIKE operand must be a string, have %s", et)
+		}
+		if pt != TStr && pt != TAny {
+			return mismatch("LIKE pattern must be a string, have %s", pt)
+		}
+		return TBool
+
+	case *qtree.InList:
+		et := c.typeExpr(v.E, blockID, colT)
+		for _, x := range v.Vals {
+			xt := c.typeExpr(x, blockID, colT)
+			if !comparable(et, xt) {
+				mismatch("IN list value is incomparable with its subject: %s vs %s", et, xt)
+			}
+		}
+		return TBool
+
+	case *qtree.Func:
+		if v.Def == nil {
+			c.add(&Violation{Class: ClassDanglingLink, Block: blockID, Detail: "function call with nil definition"})
+			return TAny
+		}
+		if len(v.Args) < v.Def.MinArgs || len(v.Args) > v.Def.MaxArgs {
+			c.add(&Violation{Class: ClassArityMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s takes %d..%d arguments, got %d", v.Def.Name, v.Def.MinArgs, v.Def.MaxArgs, len(v.Args))})
+		}
+		for _, a := range v.Args {
+			c.typeExpr(a, blockID, colT)
+		}
+		return TAny // the function registry carries no result kinds
+
+	case *qtree.LNNVL:
+		t := c.typeExpr(v.E, blockID, colT)
+		c.requirePred(v.E, t, blockID, "LNNVL")
+		return TBool
+
+	case *qtree.IsTrue:
+		t := c.typeExpr(v.E, blockID, colT)
+		c.requirePred(v.E, t, blockID, "IS TRUE")
+		return TBool
+
+	case *qtree.Agg:
+		return c.typeAgg(v, blockID, colT)
+
+	case *qtree.WinFunc:
+		return c.typeWindow(v, blockID, colT)
+
+	case *qtree.Subq:
+		return c.typeSubq(v, blockID, colT)
+
+	case *qtree.Case:
+		out := TAny
+		first := true
+		for _, w := range v.Whens {
+			ct := c.typeExpr(w.Cond, blockID, colT)
+			c.requirePred(w.Cond, ct, blockID, "CASE WHEN")
+			rt := c.typeExpr(w.Result, blockID, colT)
+			if first {
+				out, first = rt, false
+			} else {
+				if !comparable(out, rt) {
+					mismatch("CASE branches have incompatible types: %s vs %s", out, rt)
+				}
+				out = merge(out, rt)
+			}
+		}
+		if v.Else != nil {
+			et := c.typeExpr(v.Else, blockID, colT)
+			if !first && !comparable(out, et) {
+				mismatch("CASE ELSE type %s is incompatible with branches (%s)", et, out)
+			}
+			out = merge(out, et)
+		}
+		return out
+	}
+	c.add(&Violation{Class: ClassDanglingLink, Block: blockID,
+		Detail: fmt.Sprintf("unknown expression node %T", e)})
+	return TAny
+}
+
+// requirePred flags expressions used in truth-value position whose type
+// can never yield a truth value. The executor's TriFromDatum maps bools
+// and numerics to truth values and everything else to UNKNOWN; a
+// statically-known string predicate is therefore a constant-UNKNOWN filter
+// and always a transformation bug.
+func (c *checker) requirePred(e qtree.Expr, t Type, blockID int, where string) {
+	if t == TStr {
+		c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+			Detail: fmt.Sprintf("%s operand %s is a string; it can never be a truth value", where, e)})
+	}
+}
+
+// typeAgg types an aggregate reference.
+func (c *checker) typeAgg(v *qtree.Agg, blockID int, colT colTyper) Type {
+	if v.Star {
+		if v.Op != qtree.AggCount {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s(*) is not valid", v.Op)})
+		}
+		return TInt
+	}
+	if v.Arg == nil {
+		if v.Op == qtree.AggCount {
+			return TInt // COUNT(*) encoded with Star=false is still a count
+		}
+		c.add(&Violation{Class: ClassDanglingLink, Block: blockID,
+			Detail: fmt.Sprintf("aggregate %s has a nil argument", v.Op)})
+		return TAny
+	}
+	at := c.typeExpr(v.Arg, blockID, colT)
+	switch v.Op {
+	case qtree.AggCount:
+		return TInt
+	case qtree.AggSum:
+		if !at.numeric() {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("SUM requires a numeric argument, have %s", at)})
+			return TAny
+		}
+		return widenNum(at)
+	case qtree.AggAvg:
+		if !at.numeric() {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("AVG requires a numeric argument, have %s", at)})
+			return TAny
+		}
+		return TFloat
+	case qtree.AggMin, qtree.AggMax:
+		return at // MIN/MAX preserve the argument type, any comparable kind
+	}
+	c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+		Detail: fmt.Sprintf("unknown aggregate op %d", int(v.Op))})
+	return TAny
+}
+
+// typeWindow types a window-function reference.
+func (c *checker) typeWindow(v *qtree.WinFunc, blockID int, colT colTyper) Type {
+	for _, p := range v.PartitionBy {
+		c.typeExpr(p, blockID, colT)
+	}
+	for _, o := range v.OrderBy {
+		c.typeExpr(o.Expr, blockID, colT)
+	}
+	if v.Op == qtree.WinRowNumber {
+		if v.Arg != nil || v.Star {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: "ROW_NUMBER takes no argument"})
+		}
+		if len(v.OrderBy) == 0 {
+			c.add(&Violation{Class: ClassGrouping, Block: blockID,
+				Detail: "ROW_NUMBER window requires ORDER BY"})
+		}
+		return TInt
+	}
+	if v.Star {
+		if v.Op != qtree.WinCount {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("%s(*) window is not valid", v.Op)})
+		}
+		return TInt
+	}
+	if v.Arg == nil {
+		c.add(&Violation{Class: ClassDanglingLink, Block: blockID,
+			Detail: fmt.Sprintf("window %s has a nil argument", v.Op)})
+		return TAny
+	}
+	at := c.typeExpr(v.Arg, blockID, colT)
+	switch v.Op {
+	case qtree.WinCount:
+		return TInt
+	case qtree.WinSum:
+		if !at.numeric() {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("window SUM requires a numeric argument, have %s", at)})
+			return TAny
+		}
+		return widenNum(at)
+	case qtree.WinAvg:
+		if !at.numeric() {
+			c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+				Detail: fmt.Sprintf("window AVG requires a numeric argument, have %s", at)})
+			return TAny
+		}
+		return TFloat
+	case qtree.WinMin, qtree.WinMax:
+		return at
+	}
+	c.add(&Violation{Class: ClassTypeMismatch, Block: blockID,
+		Detail: fmt.Sprintf("unknown window op %d", int(v.Op))})
+	return TAny
+}
+
+// widenNum maps Int to Num-preserving behavior of SUM: integer sums stay
+// integers, float sums stay floats, unknown numerics stay Num.
+func widenNum(t Type) Type {
+	if t == TAny {
+		return TNum
+	}
+	return t
+}
+
+func binOpName(op qtree.BinOp) string { return op.String() }

@@ -1,0 +1,151 @@
+// Package check is the static plan-integrity layer of the optimizer stack:
+// a semantic analyzer that verifies — without executing anything — that a
+// query tree (and the physical plan compiled from it) is well-formed. The
+// CBQT driver deep-copies a query per transformation state, mutates the
+// copy, and trusts the result enough to cost and possibly execute it
+// (paper §3.1); a transformation that drops a compensation predicate,
+// mis-binds a column, or breaks set-operation arity is otherwise caught
+// only if the differential suite happens to execute that exact state. The
+// checker machine-checks four invariant families on every state:
+//
+//   - column resolution: every column reference binds to exactly one
+//     visible source at its depth, and bind parameters have stable,
+//     in-range ordinals;
+//   - expression typing: operators, predicates, aggregates and window
+//     functions type-check bottom-up against catalog column types, with
+//     the exact coercion lattice the executor implements;
+//   - structural invariants: unique from-item identities, no dangling
+//     subquery or view links, block ownership, grouped-block select-list
+//     coverage, set-operation branch agreement, and the partial-order
+//     constraint on non-inner joins and lateral views;
+//   - per-rule contracts: each transformation registers the invariants it
+//     must preserve (output arity and types, parameter list, preserved
+//     table multiset, outer-join null-sidedness), checked on the
+//     post-state against a summary of the pre-state.
+//
+// Violations are typed errors (Violation / Violations) so the driver can
+// quarantine the offending rule through the existing fault-isolation
+// machinery instead of failing the query.
+package check
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class partitions violations for counting, testing and quarantine
+// decisions. Every violation the checker can emit carries exactly one of
+// these classes.
+type Class string
+
+// Violation classes.
+const (
+	// ClassUnresolvedColumn: a column reference does not bind to any
+	// visible from item, binds out of its source's ordinal range, or uses
+	// the set-operation output sentinel outside a set-op ORDER BY.
+	ClassUnresolvedColumn Class = "unresolved-column"
+	// ClassParamOrdinal: a bind parameter's ordinal is outside the query's
+	// parameter list or disagrees with the name registered at that slot.
+	ClassParamOrdinal Class = "param-ordinal"
+	// ClassTypeMismatch: an operator, predicate, aggregate or window
+	// function does not type-check against catalog types.
+	ClassTypeMismatch Class = "type-mismatch"
+	// ClassArityMismatch: set-operation branches, subquery comparison
+	// lists, or function calls disagree on arity.
+	ClassArityMismatch Class = "arity-mismatch"
+	// ClassDanglingLink: a structural link is broken — nil blocks or
+	// expressions, duplicate from-item identities, a block owned by a
+	// different query, a from item that is neither table nor view, or a
+	// view shared between two from items.
+	ClassDanglingLink Class = "dangling-link"
+	// ClassGrouping: a grouped or DISTINCT block's outputs are not covered
+	// by its grouping columns, or grouping-set indexes are out of range.
+	ClassGrouping Class = "grouping"
+	// ClassJoinOrder: a non-inner join or lateral view violates the
+	// partial-order constraint (its condition or body references a from
+	// item that does not precede it), or an inner join item carries a
+	// dangling join condition.
+	ClassJoinOrder Class = "join-order"
+	// ClassContract: a transformation broke one of its registered
+	// pre/post-state contracts (arity, types, parameters, table multiset,
+	// outer-join null-sidedness).
+	ClassContract Class = "contract"
+	// ClassPlan: a physical plan is structurally broken — nil children,
+	// hash/merge key arity disagreement, a subquery expression with no
+	// compiled subplan, unresolvable plan columns, or negative estimates.
+	ClassPlan Class = "plan"
+)
+
+// Classes lists every violation class, for metrics pre-registration and
+// exhaustive tests.
+func Classes() []Class {
+	return []Class{
+		ClassUnresolvedColumn, ClassParamOrdinal, ClassTypeMismatch,
+		ClassArityMismatch, ClassDanglingLink, ClassGrouping,
+		ClassJoinOrder, ClassContract, ClassPlan,
+	}
+}
+
+// Violation is one semantic defect found by the checker. It is an error so
+// single violations can flow through error-typed plumbing unchanged.
+type Violation struct {
+	// Class is the violation family.
+	Class Class
+	// Block is the ID of the query block the defect was found in (0 when
+	// the defect is not attributable to one block, e.g. plan defects).
+	Block int
+	// Rule names the transformation whose contract failed (contract
+	// violations only).
+	Rule string
+	// Detail is the human-readable description of the defect.
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	var b strings.Builder
+	b.WriteString("check: ")
+	b.WriteString(string(v.Class))
+	if v.Rule != "" {
+		fmt.Fprintf(&b, " [%s]", v.Rule)
+	}
+	if v.Block != 0 {
+		fmt.Fprintf(&b, " (block %d)", v.Block)
+	}
+	b.WriteString(": ")
+	b.WriteString(v.Detail)
+	return b.String()
+}
+
+// Violations is the full defect list of one checked state. It is an error;
+// its message is the first violation's, suffixed with the remaining count,
+// so logs stay readable while tests can inspect every entry.
+type Violations []*Violation
+
+func (vs Violations) Error() string {
+	switch len(vs) {
+	case 0:
+		return "check: no violations"
+	case 1:
+		return vs[0].Error()
+	}
+	return fmt.Sprintf("%s (and %d more)", vs[0].Error(), len(vs)-1)
+}
+
+// Err returns the list as an error, or nil when it is empty — so callers
+// can write `return c.violations.Err()` without a typed-nil trap.
+func (vs Violations) Err() error {
+	if len(vs) == 0 {
+		return nil
+	}
+	return vs
+}
+
+// HasClass reports whether any violation belongs to the class.
+func (vs Violations) HasClass(c Class) bool {
+	for _, v := range vs {
+		if v.Class == c {
+			return true
+		}
+	}
+	return false
+}

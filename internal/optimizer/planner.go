@@ -98,6 +98,7 @@ func (p *Planner) checkBudget() error {
 		default:
 		}
 	}
+	//lint:allow nodeterm the wall-clock deadline is the budget feature itself; on expiry the search degrades to the best fully-costed state, it never alters which states are enumerated
 	if !p.Deadline.IsZero() && time.Now().After(p.Deadline) {
 		return ErrBudget
 	}
@@ -143,6 +144,12 @@ type cachedStub struct{ base }
 
 func (n *cachedStub) Children() []PlanNode { return nil }
 func (n *cachedStub) Label() string        { return "CachedCost" }
+
+// IsCostStub reports whether n is a cost-annotation stub standing in for a
+// cached block. Stubs appear only in cost-only plans (CostOnly planning
+// with a cache hit), never in executable plans; static plan checks treat
+// them as opaque leaves.
+func IsCostStub(n PlanNode) bool { _, ok := n.(*cachedStub); return ok }
 
 func outputCols(outFrom qtree.FromID, n int) []ColID {
 	cols := make([]ColID, n)
@@ -424,7 +431,10 @@ func (p *Planner) planSelectBlock(q *qtree.Query, b *qtree.Block, outFrom qtree.
 		node, selExprs = p.buildWindow(q, node, selExprs)
 		// Order-by expressions may reference the same window functions via
 		// select aliases; rewrite them identically.
-		win := node.(*Window)
+		win, ok := node.(*Window)
+		if !ok {
+			return nil, blockInfo{}, fmt.Errorf("optimizer: window build produced %T, want *Window", node)
+		}
 		for i, oe := range orderExprs {
 			orderExprs[i] = rewriteWindowRefs(oe, win)
 		}

@@ -255,6 +255,9 @@ func (s *Server) sessionOpts(so *SessionOptions) (cbqt.Options, string, error) {
 			MaxStates:   so.MaxStates,
 			MaxMemBytes: so.MaxMemBytes,
 		}
+		if so.Check != nil {
+			opts.Check = *so.Check
+		}
 	}
 	return opts, strategyFingerprint(opts), nil
 }
@@ -279,6 +282,9 @@ func strategyFingerprint(opts cbqt.Options) string {
 	fp := opts.Strategy.String()
 	if b := opts.Budget; b.Timeout != 0 || b.MaxStates != 0 || b.MaxMemBytes != 0 {
 		fp = fmt.Sprintf("%s|t=%s,s=%d,m=%d", fp, b.Timeout, b.MaxStates, b.MaxMemBytes)
+	}
+	if opts.Check {
+		fp += "|check"
 	}
 	return fp
 }

@@ -548,6 +548,49 @@ func TestSessionOptionsStrategy(t *testing.T) {
 	}
 }
 
+func TestSessionOptionsCheck(t *testing.T) {
+	reg := obsv.NewRegistry()
+	_, addr, stop := startServer(t, Config{Registry: reg})
+	defer stop()
+
+	// A checked session and an unchecked one must not share plans: the
+	// checker setting is a cache-key dimension, so a statement that asked
+	// for verification is never satisfied by a plan cached without it.
+	on, off := true, false
+	a, err := Dial(addr, &SessionOptions{Check: &on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(addr, &SessionOptions{Check: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sql := "SELECT e.EMP_ID FROM employees e WHERE e.DEPT_ID = :d"
+	if _, err := a.Query(sql, Named("d", datum.NewInt(10))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Query(sql, Named("d", datum.NewInt(10))); err != nil {
+		t.Fatal(err)
+	}
+	if misses := reg.CounterValue(plancache.MetricMisses); misses != 2 {
+		t.Fatalf("checked and unchecked sessions shared a plan: misses = %d, want 2", misses)
+	}
+	// A second checked session shares the checked plan.
+	c, err := Dial(addr, &SessionOptions{Check: &on})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Query(sql, Named("d", datum.NewInt(10))); err != nil {
+		t.Fatal(err)
+	}
+	if misses := reg.CounterValue(plancache.MetricMisses); misses != 2 {
+		t.Fatalf("second checked session missed the cache: misses = %d, want 2", misses)
+	}
+}
+
 func TestMetricsVerb(t *testing.T) {
 	_, addr, stop := startServer(t, Config{})
 	defer stop()

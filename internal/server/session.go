@@ -329,7 +329,11 @@ func (ss *session) plan(st *stmt) (*cachedPlan, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	return v.(*cachedPlan), shared, nil
+	cp, ok := v.(*cachedPlan)
+	if !ok {
+		return nil, false, fmt.Errorf("server: plan cache holds %T for %q, want *cachedPlan", v, st.norm)
+	}
+	return cp, shared, nil
 }
 
 // optimize runs the full parse → bind → CBQT pipeline for one statement.

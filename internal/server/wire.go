@@ -66,6 +66,11 @@ type SessionOptions struct {
 	TimeoutMS   int64 `json:"timeout_ms,omitempty"`
 	MaxStates   int   `json:"max_states,omitempty"`
 	MaxMemBytes int64 `json:"max_mem,omitempty"`
+	// Check overrides the server's static-checker setting for this session
+	// (nil = server default). Checked sessions never share cached plans
+	// with unchecked ones: a violation must fail the statement that
+	// requested checking, not be masked by a plan cached without it.
+	Check *bool `json:"check,omitempty"`
 }
 
 // BindValue is one parameter value on the wire.

@@ -237,7 +237,10 @@ func aggUnnestLegal(b *qtree.Block, s *qtree.Subq) bool {
 // new from item so interleaving can merge it further.
 func unnestAggSubquery(q *qtree.Query, o unnestObj) (*qtree.FromItem, error) {
 	b := o.block
-	bin := b.Where[o.where].(*qtree.Bin)
+	bin, ok := b.Where[o.where].(*qtree.Bin)
+	if !ok {
+		return nil, fmt.Errorf("transform: aggregate-subquery site %d is %T, want *qtree.Bin", o.where, b.Where[o.where])
+	}
 	sub := o.subq.Block
 	defined := subtreeDefined(sub)
 

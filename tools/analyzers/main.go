@@ -1,0 +1,238 @@
+// The driver: speaks the `go vet -vettool` unit-checker protocol with only
+// the standard library.
+//
+//	go build -o analyzers.exe repro/tools/analyzers
+//	go vet -vettool=$(pwd)/analyzers.exe ./...
+//
+// Protocol (what cmd/go expects of a vet tool):
+//
+//   - `analyzers -V=full` prints a version line ending in a content hash,
+//     which cmd/go folds into its action cache key;
+//   - `analyzers -flags` prints a JSON description of supported flags
+//     (none here);
+//   - `analyzers <file>.cfg` analyzes one package: the cfg file is JSON
+//     describing the package's files, its import map, and the compiled
+//     export data of every dependency. The tool must write the VetxOutput
+//     facts file (empty here — these passes are fact-free), print findings
+//     to stderr as file:line:col lines, and exit 2 when it found anything.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON cmd/go writes for vet tools (the unitchecker
+// Config). Fields this tool does not consume are still listed so the file
+// round-trips cleanly if it ever needs to be re-emitted.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		printVersion()
+		return
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]") // no tool-specific flags
+		return
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "usage: analyzers [-V=full | -flags | <file>.cfg]\n")
+		os.Exit(1)
+	}
+	diags, err := run(args[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "analyzers: %v\n", err)
+		os.Exit(1)
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// printVersion emits the version line cmd/go hashes into its cache key: it
+// must change whenever the tool's behavior does, so it hashes the
+// executable itself.
+func printVersion() {
+	name := os.Args[0]
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", name, h.Sum(nil))
+}
+
+// run analyzes the package described by one cfg file.
+func run(cfgPath string) ([]diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+
+	// The facts file must exist even though these passes export none:
+	// cmd/go records it as the action's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	// Dependency-only visit: facts written, nothing to report.
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	pkgPath := cfg.ImportPath
+	if i := strings.Index(pkgPath, " ["); i >= 0 {
+		pkgPath = pkgPath[:i] // "p [p.test]" variants analyze as p
+	}
+	applicable := make([]*Analyzer, 0, len(analyzers))
+	for _, a := range analyzers {
+		if a.Packages == nil || a.Packages(pkgPath) {
+			applicable = append(applicable, a)
+		}
+	}
+	if len(applicable) == 0 {
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return nil, nil
+			}
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Type-check against the export data cmd/go compiled for every import.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tcfg := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		GoVersion: cfg.GoVersion,
+		Error:     func(error) {}, // collect via Check's return, keep going
+		Sizes:     types.SizesFor("gc", "amd64"),
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tcfg.Check(pkgPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", pkgPath, err)
+	}
+
+	return analyze(fset, files, pkg, info, pkgPath, applicable), nil
+}
+
+// analyze runs the applicable passes and returns unsuppressed findings in
+// deterministic (position, analyzer) order. Test files are parsed and
+// type-checked (the package may not check without them) but never
+// reported on: test-local shortcuts are not production invariants.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, passes []*Analyzer) []diagnostic {
+	allows := map[string]map[int]map[string]bool{}
+	for _, f := range files {
+		name := fset.Position(f.Pos()).Filename
+		allows[name] = allowDirectives(fset, f)
+	}
+
+	var diags []diagnostic
+	for _, a := range passes {
+		p := &Pass{
+			Fset:    fset,
+			Files:   files,
+			Pkg:     pkg,
+			Info:    info,
+			PkgPath: pkgPath,
+			Report: func(pos token.Pos, format string, args ...any) {
+				position := fset.Position(pos)
+				if strings.HasSuffix(position.Filename, "_test.go") {
+					return
+				}
+				if fileAllows := allows[position.Filename]; fileAllows[position.Line][a.Name] {
+					return
+				}
+				diags = append(diags, diagnostic{
+					pos:      position,
+					analyzer: a.Name,
+					message:  fmt.Sprintf(format, args...),
+				})
+			},
+		}
+		a.Run(p)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	return diags
+}

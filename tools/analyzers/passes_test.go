@@ -1,0 +1,218 @@
+package main
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// compile typechecks src as package path, resolving std imports through the
+// installed toolchain and "deps" through previously compiled test packages.
+func compile(t *testing.T, path, src string, deps map[string]*types.Package) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{Importer: testImporter{deps: deps}}
+	pkg, err := cfg.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+// testImporter resolves test-local packages first, then the standard
+// library via the toolchain's export data.
+type testImporter struct{ deps map[string]*types.Package }
+
+func (i testImporter) Import(path string) (*types.Package, error) {
+	if p, ok := i.deps[path]; ok {
+		return p, nil
+	}
+	return importer.Default().Import(path)
+}
+
+// findings runs one analyzer over src (typechecked as pkgPath) and returns
+// the diagnostics that survive lint:allow suppression. The analyzer's
+// package gate is applied the same way run() applies it.
+func findings(t *testing.T, a *Analyzer, pkgPath, src string, deps map[string]*types.Package) []diagnostic {
+	t.Helper()
+	fset, files, pkg, info := compile(t, pkgPath, src, deps)
+	var applicable []*Analyzer
+	if a.Packages == nil || a.Packages(pkgPath) {
+		applicable = append(applicable, a)
+	}
+	return analyze(fset, files, pkg, info, pkgPath, applicable)
+}
+
+func wantN(t *testing.T, diags []diagnostic, n int) {
+	t.Helper()
+	if len(diags) != n {
+		t.Fatalf("got %d finding(s), want %d:\n%v", len(diags), n, diags)
+	}
+}
+
+func TestNodeterm(t *testing.T) {
+	src := `package cbqt
+import (
+	"math/rand"
+	"time"
+)
+func bad() {
+	_ = time.Now()
+	time.Sleep(time.Second)
+	_ = rand.Intn(5)
+}
+func good() {
+	rng := rand.New(rand.NewSource(1))
+	_ = rng.Intn(5)
+	var t0 time.Time
+	_ = t0.Add(time.Second)
+}
+func allowed() {
+	//lint:allow nodeterm deadline checks are budget features, not plan inputs
+	_ = time.Now()
+}
+`
+	diags := findings(t, nodeterm, "repro/internal/cbqt", src, nil)
+	wantN(t, diags, 3)
+	for _, d := range diags {
+		if d.analyzer != "nodeterm" {
+			t.Errorf("finding from %q, want nodeterm", d.analyzer)
+		}
+	}
+	// The same source in a non-search package is not a finding.
+	wantN(t, findings(t, nodeterm, "repro/internal/obsv", strings.Replace(src, "package cbqt", "package obsv", 1), nil), 0)
+}
+
+func TestNodetermAllowNeedsJustification(t *testing.T) {
+	src := `package cbqt
+import "time"
+func f() {
+	//lint:allow nodeterm
+	_ = time.Now()
+}
+`
+	wantN(t, findings(t, nodeterm, "repro/internal/cbqt", src, nil), 1)
+}
+
+func TestNakedAssert(t *testing.T) {
+	src := `package exec
+func f(x any) int {
+	n := x.(int)            // naked: flagged
+	if m, ok := x.(int); ok { // comma-ok: fine
+		n += m
+	}
+	switch v := x.(type) { // type switch: fine
+	case int:
+		n += v
+	}
+	//lint:allow nakedassert constructed three lines up, cannot fail
+	n += x.(int)
+	return n
+}
+`
+	diags := findings(t, nakedassert, "repro/internal/exec", src, nil)
+	wantN(t, diags, 1)
+	if diags[0].pos.Line != 3 {
+		t.Errorf("finding at line %d, want 3", diags[0].pos.Line)
+	}
+	// Hot-path gating: the same source elsewhere passes.
+	wantN(t, findings(t, nakedassert, "repro/internal/qtree", strings.Replace(src, "package exec", "package qtree", 1), nil), 0)
+}
+
+func TestAtomicMix(t *testing.T) {
+	src := `package server
+import "sync/atomic"
+type s struct {
+	n int64
+	m int64
+}
+func f(v *s) int64 {
+	atomic.AddInt64(&v.n, 1)
+	v.n = 7                    // plain store on an atomic field: flagged
+	total := v.n               // plain load on an atomic field: flagged
+	v.m = 3                    // m is never atomic: fine
+	return total + atomic.LoadInt64(&v.n) + v.m
+}
+`
+	diags := findings(t, atomicmix, "repro/internal/server", src, nil)
+	wantN(t, diags, 2)
+}
+
+func TestObsvReg(t *testing.T) {
+	obsvSrc := `package obsv
+type Counter struct{}
+func (*Counter) Inc() {}
+type Registry struct{}
+func (*Registry) Counter(name string) *Counter { return nil }
+func (*Registry) CounterValue(name string) int64 { return 0 }
+`
+	_, _, obsvPkg, _ := compile(t, "repro/internal/obsv", obsvSrc, nil)
+	deps := map[string]*types.Package{"repro/internal/obsv": obsvPkg}
+	src := `package cbqt
+import "repro/internal/obsv"
+const MetricStates = "cbqt.states"
+const MetricPrefix = "cbqt.deg."
+func f(r *obsv.Registry, reason, dynamic string) {
+	r.Counter(MetricStates).Inc()        // const: fine
+	r.Counter(MetricPrefix + reason).Inc() // const prefix: fine
+	r.Counter("literal.name").Inc()      // literal constant: fine
+	r.Counter(dynamic).Inc()             // dynamic: flagged
+	r.Counter(dynamic + MetricPrefix).Inc() // dynamic root: flagged
+	_ = r.CounterValue(dynamic)          // read side too: flagged
+}
+`
+	diags := findings(t, obsvreg, "repro/internal/cbqt", src, deps)
+	wantN(t, diags, 3)
+}
+
+func TestTestFilesAreNotReported(t *testing.T) {
+	src := `package exec
+func f(x any) int { return x.(int) }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "exec_test.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	cfg := types.Config{}
+	pkg, err := cfg.Check("repro/internal/exec", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN(t, analyze(fset, []*ast.File{f}, pkg, info, "repro/internal/exec", []*Analyzer{nakedassert}), 0)
+}
+
+func TestDiagnosticsAreOrdered(t *testing.T) {
+	src := `package exec
+func f(x any) (int, int) { return x.(int), x.(int) }
+func g(x any) int { return x.(int) }
+`
+	diags := findings(t, nakedassert, "repro/internal/exec", src, nil)
+	wantN(t, diags, 3)
+	for i := 1; i < len(diags); i++ {
+		prev, cur := diags[i-1].pos, diags[i].pos
+		if cur.Line < prev.Line || (cur.Line == prev.Line && cur.Column < prev.Column) {
+			t.Fatalf("diagnostics out of order: %v before %v", prev, cur)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVetToolEndToEnd builds the analyzer binary and runs it through the
+// real `go vet -vettool` protocol against a throwaway module containing a
+// seeded violation, checking both the failing and the clean paths.
+func TestVetToolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	goBin, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go binary not found: %v", err)
+	}
+
+	tool := filepath.Join(t.TempDir(), "analyzers.exe")
+	build := exec.Command(goBin, "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+
+	mod := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(mod, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module repro\n\ngo 1.24\n")
+	// The package path puts this file inside nodeterm's gated set.
+	if err := os.MkdirAll(filepath.Join(mod, "internal", "cbqt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dirty := `package cbqt
+
+import "time"
+
+func Tick() time.Time { return time.Now() }
+`
+	if err := os.WriteFile(filepath.Join(mod, "internal", "cbqt", "tick.go"), []byte(dirty), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	vet := func() (string, error) {
+		cmd := exec.Command(goBin, "vet", "-vettool="+tool, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := vet()
+	if err == nil {
+		t.Fatalf("go vet passed on a seeded violation; output:\n%s", out)
+	}
+	if !strings.Contains(out, "nodeterm") || !strings.Contains(out, "time.Now") {
+		t.Fatalf("diagnostic missing from go vet output:\n%s", out)
+	}
+
+	clean := `package cbqt
+
+func Tick() int { return 42 }
+`
+	if err := os.WriteFile(filepath.Join(mod, "internal", "cbqt", "tick.go"), []byte(clean), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := vet(); err != nil {
+		t.Fatalf("go vet failed on clean source: %v\n%s", err, out)
+	}
+}
