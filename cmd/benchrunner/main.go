@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
+//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par|memo [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
 package main
 
 import (
@@ -25,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, server")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, memo, server")
 	n := flag.Int("n", 12, "queries per workload class")
 	serverOps := flag.Int("server-ops", 64, "executes per session in the server experiment")
 	repeats := flag.Int("repeats", 3, "execution repetitions per query (min taken)")
@@ -133,6 +133,14 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatParallelSearch(rows))
+		return nil
+	})
+	run("memo", func() error {
+		r, err := bench.Memo(db)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatMemo(r))
 		return nil
 	})
 	run("server", func() error {

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// The memo experiment quantifies the copy-on-write state memo (§3.4.3
+// machinery, qtree.CloneCOW): the same 2^10-state exhaustive unnesting
+// search is run twice — once with Options.FullCloneStates (the legacy deep
+// copy per state) and once with COW clones — and compared on states per
+// second, heap bytes allocated per state (runtime.MemStats TotalAlloc
+// deltas) and the private tree bytes each state held
+// (cbqt.Stats.MemoStateBytes). The searches are bit-identical, so the
+// deltas are pure memo overhead.
+
+// MemoSubqueries is the subquery count of the memo workload: ten binary
+// unnesting objects make the exhaustive search enumerate 2^10 = 1024
+// states.
+const MemoSubqueries = 10
+
+// Table2FamilyQuery scales the paper's Table 2 setup to n subqueries: the
+// same two-table outer join block, with n correlated EXISTS / NOT EXISTS
+// subqueries of the Table 2 flavours (each over two or three base tables,
+// all valid for cost-based unnesting and none consumed by the imperative
+// heuristics, which only merge single-table subqueries).
+func Table2FamilyQuery(n int) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT e.employee_name, d.department_name\n")
+	sb.WriteString("FROM employees e, departments d\n")
+	sb.WriteString("WHERE e.dept_id = d.dept_id")
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&sb, " AND\n  EXISTS (SELECT 1 FROM sales s%d, departments ds%d"+
+				" WHERE s%d.dept_id = ds%d.dept_id AND s%d.emp_id = e.emp_id AND s%d.amount > %d"+
+				" AND s%d.amount + %d < 100000 AND ds%d.dept_id + 0 >= 1)",
+				i, i, i, i, i, i, 400+40*i, i, 10*i, i)
+		case 1:
+			fmt.Fprintf(&sb, " AND\n  NOT EXISTS (SELECT 1 FROM job_history j%d, jobs jb%d"+
+				" WHERE j%d.job_id = jb%d.job_id AND j%d.emp_id = e.emp_id AND j%d.start_date > '%d0101'"+
+				" AND j%d.dept_id + %d >= 0 AND jb%d.job_id + 0 >= 1)",
+				i, i, i, i, i, i, 1996+i, i, i, i)
+		default:
+			fmt.Fprintf(&sb, " AND\n  EXISTS (SELECT 1 FROM job_history h%d, departments dh%d, locations lh%d"+
+				" WHERE h%d.dept_id = dh%d.dept_id AND dh%d.loc_id = lh%d.loc_id AND h%d.emp_id = e.emp_id"+
+				" AND h%d.start_date > '%d0101' AND lh%d.loc_id + %d >= 0)",
+				i, i, i, i, i, i, i, i, i, 1994+i, i, i)
+		}
+	}
+	return sb.String()
+}
+
+// MemoMode is one side of the memo comparison.
+type MemoMode struct {
+	Name          string
+	States        int
+	Time          time.Duration
+	StatesPerSec  float64
+	AllocPerState int64 // heap bytes allocated per state (MemStats delta)
+	TreeBytes     int64 // Stats.MemoStateBytes / states: private tree bytes per state
+	SharedBlocks  int   // Stats.MemoSharedBlocks over all states
+	OwnedBlocks   int   // Stats.MemoMaterializedBlocks over all states
+}
+
+// MemoResult compares full-clone and COW state evaluation on the same
+// search, plus the qtree copy counters attributed to the COW run.
+type MemoResult struct {
+	SQL             string
+	Full, COW       MemoMode
+	COWFullClones   int64   // deep clones the COW run still performed
+	COWMaterializs  int64   // block materializations the COW run performed
+	TreeBytesRatio  float64 // COW.TreeBytes / Full.TreeBytes
+	AllocBytesRatio float64 // COW.AllocPerState / Full.AllocPerState
+}
+
+// Memo runs the memo experiment on db.
+func Memo(db *storage.DB) (MemoResult, error) {
+	sql := Table2FamilyQuery(MemoSubqueries)
+	runMode := func(name string, full bool) (MemoMode, cbqt.Stats, error) {
+		q, err := qtree.BindSQL(sql, db.Catalog)
+		if err != nil {
+			return MemoMode{}, cbqt.Stats{}, err
+		}
+		opts := strategyUnnestOnly(cbqt.StrategyExhaustive)
+		opts.FullCloneStates = full
+		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		//lint:allow nodeterm wall-clock throughput is the experiment's measurement
+		start := time.Now()
+		res, err := o.Optimize(q)
+		//lint:allow nodeterm wall-clock throughput is the experiment's measurement
+		dur := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return MemoMode{}, cbqt.Stats{}, fmt.Errorf("%s: %w", name, err)
+		}
+		s := res.Stats
+		m := MemoMode{Name: name, States: s.StatesEvaluated, Time: dur,
+			SharedBlocks: s.MemoSharedBlocks, OwnedBlocks: s.MemoMaterializedBlocks}
+		if s.StatesEvaluated > 0 {
+			m.StatesPerSec = float64(s.StatesEvaluated) / dur.Seconds()
+			m.AllocPerState = int64(m1.TotalAlloc-m0.TotalAlloc) / int64(s.StatesEvaluated)
+			m.TreeBytes = s.MemoStateBytes / int64(s.StatesEvaluated)
+		}
+		return m, s, nil
+	}
+
+	var r MemoResult
+	r.SQL = sql
+	var err error
+	if r.Full, _, err = runMode("full-clone", true); err != nil {
+		return r, err
+	}
+	f0, _, m0 := qtree.CopyCounters()
+	if r.COW, _, err = runMode("cow", false); err != nil {
+		return r, err
+	}
+	f1, _, m1 := qtree.CopyCounters()
+	r.COWFullClones = f1 - f0
+	r.COWMaterializs = m1 - m0
+	if r.Full.TreeBytes > 0 {
+		r.TreeBytesRatio = float64(r.COW.TreeBytes) / float64(r.Full.TreeBytes)
+	}
+	if r.Full.AllocPerState > 0 {
+		r.AllocBytesRatio = float64(r.COW.AllocPerState) / float64(r.Full.AllocPerState)
+	}
+	return r, nil
+}
+
+// FormatMemo renders the memo experiment.
+func FormatMemo(r MemoResult) string {
+	var sb strings.Builder
+	sb.WriteString("=== Memo: copy-on-write vs full-clone state evaluation ===\n")
+	fmt.Fprintf(&sb, "%-12s %8s %12s %12s %14s %14s\n",
+		"Mode", "#States", "Time", "States/s", "Alloc B/state", "Tree B/state")
+	for _, m := range []MemoMode{r.Full, r.COW} {
+		fmt.Fprintf(&sb, "%-12s %8d %12s %12.0f %14d %14d\n",
+			m.Name, m.States, m.Time.Round(10*time.Microsecond), m.StatesPerSec,
+			m.AllocPerState, m.TreeBytes)
+	}
+	fmt.Fprintf(&sb, "cow blocks: %d shared / %d materialized over all states\n",
+		r.COW.SharedBlocks, r.COW.OwnedBlocks)
+	fmt.Fprintf(&sb, "cow run copies: %d deep clones, %d block materializations\n",
+		r.COWFullClones, r.COWMaterializs)
+	fmt.Fprintf(&sb, "bytes/state ratio (cow / full-clone): tree %.3f, allocated %.3f\n",
+		r.TreeBytesRatio, r.AllocBytesRatio)
+	return sb.String()
+}

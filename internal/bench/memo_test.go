@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/testkit"
+)
+
+// TestMemoCOWBytesPerState is the acceptance gate of the copy-on-write
+// state memo: on the 2^10-state Table-2-family exhaustive search, a COW
+// state must hold at most half the private tree bytes a full-clone state
+// holds, and the COW run must not fall back to a single deep clone. The
+// tree-byte accounting is deterministic (it sums qtree.OwnedApproxBytes
+// over the same 1024 states in both modes), so this is an exact gate, not
+// a timing-sensitive benchmark.
+func TestMemoCOWBytesPerState(t *testing.T) {
+	db := testkit.NewDB(testkit.SmallSizes(), 1)
+	r, err := Memo(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", FormatMemo(r))
+
+	want := 1 << MemoSubqueries
+	if r.Full.States != want || r.COW.States != want {
+		t.Fatalf("states evaluated: full=%d cow=%d, want %d each (2^%d exhaustive)",
+			r.Full.States, r.COW.States, want, MemoSubqueries)
+	}
+	if r.Full.TreeBytes <= 0 || r.COW.TreeBytes <= 0 {
+		t.Fatalf("tree bytes not collected: full=%d cow=%d", r.Full.TreeBytes, r.COW.TreeBytes)
+	}
+	if 2*r.COW.TreeBytes > r.Full.TreeBytes {
+		t.Errorf("COW holds %d tree bytes/state, more than half of full-clone's %d (ratio %.3f, want <= 0.5)",
+			r.COW.TreeBytes, r.Full.TreeBytes, r.TreeBytesRatio)
+	}
+	if r.COWFullClones != 0 {
+		t.Errorf("COW run performed %d deep clones, want 0", r.COWFullClones)
+	}
+	if r.COWMaterializs == 0 {
+		t.Error("COW run materialized no blocks; the search cannot have transformed anything")
+	}
+	if r.COW.SharedBlocks == 0 {
+		t.Error("COW run shared no blocks with the base; the memo is not sharing")
+	}
+}

@@ -130,6 +130,11 @@ type budgetTracker struct {
 	// from (Options.Check only). o.search writes it before dispatching
 	// workers; evalState reads it concurrently but never writes.
 	preSummary *check.Summary
+	// baseSnap fingerprints the same query's tree (Options.Check only):
+	// every evaluated state re-verifies it to prove no transformation
+	// mutated the blocks its copy-on-write clone shares with the base.
+	// Written with preSummary, read concurrently, never re-written mid-rule.
+	baseSnap *check.TreeSnapshot
 
 	mu     sync.Mutex
 	reason DegradeReason

@@ -159,6 +159,13 @@ type Options struct {
 	// fails the optimization. Violations count through Options.Metrics
 	// (cbqt.check_violations and per-class counters).
 	Check bool
+	// FullCloneStates evaluates every transformation state on a full deep
+	// copy of the query instead of a copy-on-write clone (qtree.CloneCOW).
+	// The searches are bit-for-bit identical either way — COW materializes
+	// blocks with their original IDs and allocates nothing from the base —
+	// so this exists for the differential suite and the memo benchmark,
+	// which compare the two modes directly.
+	FullCloneStates bool
 }
 
 // defaultCheck is the Options.Check value DefaultOptions hands out. It is
@@ -217,6 +224,17 @@ type Stats struct {
 	// CheckViolations counts static-checker violations found during this
 	// optimization (Options.Check); a clean run keeps it zero.
 	CheckViolations int
+	// MemoSharedBlocks and MemoMaterializedBlocks profile the copy-on-write
+	// state memo: summed over every state evaluated, how many blocks of the
+	// state's tree stayed shared with the base versus privately owned
+	// (materialized copies plus transformation-created blocks). Under
+	// Options.FullCloneStates every block counts as materialized.
+	MemoSharedBlocks       int
+	MemoMaterializedBlocks int
+	// MemoStateBytes sums the approximate private bytes of every state's
+	// tree (qtree.OwnedApproxBytes) — the per-state copy cost the memo
+	// actually paid, comparable across FullCloneStates modes.
+	MemoStateBytes int64
 	// CacheHits/CacheMisses/CacheEvictions snapshot the cost-annotation
 	// cache counters for this optimization. CacheHits counts the same
 	// events as AnnotationHits, measured at the cache rather than summed
@@ -440,6 +458,12 @@ const (
 	// plus the check.Class (e.g. "cbqt.check_violations.type-mismatch").
 	MetricCheckViolations       = "cbqt.check_violations"
 	MetricCheckViolationsPrefix = "cbqt.check_violations."
+	// The copy-on-write state memo: blocks shared with the base vs.
+	// materialized per state (counters, summed over states), and the average
+	// private bytes one state's tree cost (gauge, per optimization).
+	MetricMemoSharedBlocks       = "cbqt.memo.shared_blocks"
+	MetricMemoMaterializedBlocks = "cbqt.memo.materialized_blocks"
+	MetricMemoStateBytes         = "cbqt.memo.state_bytes"
 )
 
 // publishMetrics folds one optimization's Stats into Options.Metrics (a
@@ -452,6 +476,11 @@ func (o *Optimizer) publishMetrics(stats *Stats) {
 	reg.Counter(MetricAnnotationHits).Add(int64(stats.AnnotationHits))
 	reg.Counter(MetricTransformErrors).Add(int64(len(stats.TransformErrors)))
 	reg.Counter(MetricQuarantines).Add(int64(len(stats.QuarantinedRules)))
+	reg.Counter(MetricMemoSharedBlocks).Add(int64(stats.MemoSharedBlocks))
+	reg.Counter(MetricMemoMaterializedBlocks).Add(int64(stats.MemoMaterializedBlocks))
+	if stats.StatesEvaluated > 0 {
+		reg.Gauge(MetricMemoStateBytes).Set(stats.MemoStateBytes / int64(stats.StatesEvaluated))
+	}
 	if stats.Degraded != DegradeNone {
 		reg.Counter(MetricDegradedPrefix + string(stats.Degraded)).Inc()
 	}
@@ -467,23 +496,23 @@ func (o *Optimizer) traceEvent(stats *Stats, e obsv.SearchEvent) {
 }
 
 // protectedHeuristics runs the imperative transformation phase with panic
-// isolation: a panicking or fault-injected pass restores the tree from a
-// backup clone and records a TransformError, degrading to the untransformed
-// query instead of failing it. Genuine rule errors still propagate.
+// isolation. The passes mutate a copy-on-write clone of the query, which is
+// adopted (qtree.AdoptCOW) only when every pass and check succeeds: a
+// panicking, fault-injected or checker-rejected pass simply discards the
+// work clone and continues with the untransformed query, with no deep
+// backup copy ever taken. Genuine rule errors still propagate.
 func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error) {
-	backup, _ := q.Clone()
+	work := q.CloneCOW()
 	defer func() {
 		if p := recover(); p != nil {
-			q.AdoptFrom(backup)
 			stats.TransformErrors = append(stats.TransformErrors,
 				&TransformError{Rule: "heuristics", Panic: p, Stack: stack()})
 			o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: obsv.OutcomeFault, Reason: "panic"})
 			err = nil
 		}
 	}()
-	if herr := o.applyHeuristics(q); herr != nil {
+	if herr := o.applyHeuristics(work); herr != nil {
 		if errors.Is(herr, faultinject.ErrInjected) {
-			q.AdoptFrom(backup)
 			stats.TransformErrors = append(stats.TransformErrors,
 				&TransformError{Rule: "heuristics", Err: herr})
 			o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: obsv.OutcomeFault, Reason: "injected"})
@@ -492,10 +521,12 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 		return herr
 	}
 	if o.Opts.Check {
-		if vs := check.Query(q); len(vs) > 0 {
-			// A heuristic pass broke the tree: restore the pre-heuristics
-			// form and continue with it, like any other heuristics fault.
-			q.AdoptFrom(backup)
+		// A heuristic pass that broke the tree — or mutated blocks without
+		// materializing them — leaves q untouched; drop the work clone and
+		// continue with the pre-heuristics form, like any heuristics fault.
+		vs := check.Aliasing(work)
+		vs = append(vs, check.Query(work)...)
+		if len(vs) > 0 {
 			o.countCheckViolations(stats, vs)
 			stats.TransformErrors = append(stats.TransformErrors,
 				&TransformError{Rule: "heuristics", Err: vs})
@@ -503,19 +534,20 @@ func (o *Optimizer) protectedHeuristics(q *qtree.Query, stats *Stats) (err error
 			return nil
 		}
 	}
+	q.AdoptCOW(work)
 	o.traceEvent(stats, obsv.SearchEvent{Ev: obsv.EvHeuristics, Outcome: "ok"})
 	return nil
 }
 
 // applyWinner transfers the winning directives (and the heuristic re-pass
-// they enable) onto the original tree, protected against panics: on any
-// failure the tree is restored from a backup clone via AdoptFrom — which
-// keeps from-ID allocation owned by q, so the non-fault path and the SQL it
-// generates are untouched — and the rule is quarantined.
+// they enable) onto the original tree, protected against panics: the state
+// is applied to a copy-on-write work clone that is adopted only when every
+// step and check succeeds. On any failure the work clone is discarded — q
+// was never mutated, its from-ID allocation is untouched, and the SQL the
+// non-fault path generates is unchanged — and the rule is quarantined.
 func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, quarantine func(string, *TransformError), stats *Stats) (applied bool) {
-	backup, _ := q.Clone()
+	work := q.CloneCOW()
 	fail := func(p any, err error, stk string) {
-		q.AdoptFrom(backup)
 		quarantine(r.Name(), &TransformError{Rule: r.Name(), State: stateKey(best), Panic: p, Err: err, Stack: stk})
 	}
 	defer func() {
@@ -524,30 +556,33 @@ func (o *Optimizer) applyWinner(q *qtree.Query, r transform.Rule, best state, qu
 			applied = false
 		}
 	}()
-	if err := o.applyState(q, r, best); err != nil {
+	if err := o.applyState(work, r, best); err != nil {
 		fail(nil, err, "")
 		return false
 	}
 	if o.Opts.Check {
-		if vs := check.CheckContract(r.Name(), check.Summarize(backup), q); len(vs) > 0 {
+		if vs := check.CheckContract(r.Name(), check.Summarize(q), work); len(vs) > 0 {
 			o.countCheckViolations(stats, vs)
 			fail(nil, vs, "")
 			return false
 		}
 	}
 	if !o.Opts.SkipHeuristics {
-		if err := o.applyHeuristics(q); err != nil {
+		if err := o.applyHeuristics(work); err != nil {
 			fail(nil, err, "")
 			return false
 		}
 	}
 	if o.Opts.Check {
-		if vs := check.Query(q); len(vs) > 0 {
+		vs := check.Aliasing(work)
+		vs = append(vs, check.Query(work)...)
+		if len(vs) > 0 {
 			o.countCheckViolations(stats, vs)
 			fail(nil, vs, "")
 			return false
 		}
 	}
+	q.AdoptCOW(work)
 	return true
 }
 

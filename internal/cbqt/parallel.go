@@ -173,6 +173,9 @@ func mergeBatch(results []stateEvalResult, stats *Stats) (bestIdx int, bestCost 
 		stats.BlocksOptimized += res.stats.BlocksOptimized
 		stats.AnnotationHits += res.stats.AnnotationHits
 		stats.CheckViolations += res.stats.CheckViolations
+		stats.MemoSharedBlocks += res.stats.MemoSharedBlocks
+		stats.MemoMaterializedBlocks += res.stats.MemoMaterializedBlocks
+		stats.MemoStateBytes += res.stats.MemoStateBytes
 		stats.Trace = append(stats.Trace, res.stats.Trace...)
 		stats.Events = append(stats.Events, res.stats.Events...)
 		stats.TransformErrors = append(stats.TransformErrors, res.stats.TransformErrors...)

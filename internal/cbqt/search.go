@@ -63,7 +63,17 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 		stateEvent(obsv.OutcomeFault, "injected", 0, 0, 0)
 		return 0, errInfeasible
 	}
-	clone, _ := q.Clone()
+	// Each state gets its own copy of the query (§3.1): a copy-on-write
+	// clone by default — sharing every block the state does not rewrite
+	// with the base and with every concurrently evaluated sibling — or a
+	// full deep copy under Options.FullCloneStates. The two modes produce
+	// bit-identical searches; see Options.FullCloneStates.
+	var clone *qtree.Query
+	if o.Opts.FullCloneStates {
+		clone, _ = q.Clone()
+	} else {
+		clone = q.CloneCOW()
+	}
 	if aerr := o.applyState(clone, r, s); aerr != nil {
 		reason := "inapplicable"
 		if errors.Is(aerr, faultinject.ErrInjected) {
@@ -92,13 +102,32 @@ func (o *Optimizer) evalState(q *qtree.Query, r transform.Rule, s state, cache *
 		}
 	}
 	if o.Opts.Check && !s.isZero() {
-		// Full semantic check of the state the physical optimizer is
-		// about to trust. The zero state equals the already-checked input.
-		if vs := check.Query(clone); len(vs) > 0 {
+		// Full semantic check of the state the physical optimizer is about
+		// to trust (the zero state equals the already-checked input), plus
+		// the copy-on-write discipline: the state's tree may share blocks
+		// only with the base, the owned region must be upward-closed, and
+		// the base itself must read back exactly as it was snapshotted when
+		// the search began — any deviation means a transformation mutated
+		// shared structure and is quarantined like a panic.
+		vs := check.Aliasing(clone)
+		if tracker.baseSnap != nil {
+			vs = append(vs, tracker.baseSnap.Verify()...)
+		}
+		vs = append(vs, check.Query(clone)...)
+		if len(vs) > 0 {
 			stateEvent(obsv.OutcomeFault, checkEventReason, 0, 0, 0)
 			return 0, o.checkFault(r.Name(), stateKey(s), stats, vs)
 		}
 	}
+	// Memo accounting: how much of this state's tree stayed shared with the
+	// base versus privately materialized, and the private bytes the state
+	// cost. Counted for every state that reaches the planner, before the
+	// cost cut-off can intervene, so the totals are identical at every
+	// parallelism level.
+	shared, owned := clone.COWStats()
+	stats.MemoSharedBlocks += shared
+	stats.MemoMaterializedBlocks += owned
+	stats.MemoStateBytes += clone.OwnedApproxBytes()
 	p := optimizer.New(o.Cat)
 	p.CostOnly = true
 	p.Cache = cache
@@ -147,9 +176,12 @@ func (o *Optimizer) search(q *qtree.Query, r transform.Rule, n int, strat Strate
 		variants[i] = r.Variants(q, i)
 	}
 	if o.Opts.Check {
-		// The contract pre-state for every state this search evaluates:
-		// q is not mutated until the winner is applied, after the search.
+		// The contract pre-state for every state this search evaluates (q is
+		// not mutated until the winner is applied, after the search), and the
+		// base-tree fingerprint every state verifies against: COW states read
+		// q's blocks concurrently, so any mutation of them is corruption.
 		tracker.preSummary = check.Summarize(q)
+		tracker.baseSnap = check.Snapshot(q)
 	}
 	// Parallelism 1 runs the original single-threaded searches; the
 	// parallel engine (parallel.go) selects the same state at any worker

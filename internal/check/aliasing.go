@@ -1,0 +1,214 @@
+package check
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/qtree"
+)
+
+// Aliasing verifies the copy-on-write sharing discipline of a query tree
+// (qtree.CloneCOW): every reachable block must be owned by the query or
+// shared from its COW base (qtree.Query.CanHold), no block may occupy two
+// tree positions, and the owned region must be upward-closed — a privately
+// owned block reachable only through a shared block means a transformation
+// mutated a subtree without materializing the path to it, so the same
+// mutation is visible from the base and every sibling state. On a non-COW
+// query it degenerates to the strict ownership check.
+func Aliasing(q *qtree.Query) Violations {
+	var vs Violations
+	if q == nil || q.Root == nil {
+		return vs
+	}
+	owned := func(b *qtree.Block) bool { return b.Query() == q }
+	seen := map[*qtree.Block]bool{}
+	var walk func(b *qtree.Block, underShared bool)
+	walk = func(b *qtree.Block, underShared bool) {
+		if b == nil {
+			return
+		}
+		if seen[b] {
+			vs = append(vs, &Violation{Class: ClassAliasing, Block: b.ID,
+				Detail: "block appears in more than one tree position"})
+			return
+		}
+		seen[b] = true
+		if !q.CanHold(b) {
+			vs = append(vs, &Violation{Class: ClassAliasing, Block: b.ID,
+				Detail: "block is owned by neither this query nor its copy-on-write base"})
+		}
+		if underShared && owned(b) {
+			vs = append(vs, &Violation{Class: ClassAliasing, Block: b.ID,
+				Detail: "privately-owned block reachable through a shared block (the owned region must be upward-closed)"})
+		}
+		shared := q.IsCOW() && !owned(b)
+		forEachChild(b, func(c *qtree.Block) { walk(c, shared || underShared) })
+	}
+	walk(q.Root, false)
+	return vs
+}
+
+// TreeSnapshot captures a content fingerprint of a query tree so that later
+// Verify calls can detect any mutation — the cross-state corruption a buggy
+// copy-on-write transformation would inflict on the shared base while a
+// sibling state still reads it.
+type TreeSnapshot struct {
+	q        *qtree.Query
+	root     *qtree.Block
+	order    []*qtree.Block
+	sums     []uint64
+	nextFrom qtree.FromID
+	nextBlk  int
+}
+
+// Snapshot fingerprints q's tree: the pre-order block list (pointer
+// identities), a structural hash per block, and the ID allocation counters.
+func Snapshot(q *qtree.Query) *TreeSnapshot {
+	s := &TreeSnapshot{q: q, root: q.Root}
+	s.nextFrom, s.nextBlk = q.IDCounters()
+	s.order = preorder(q.Root)
+	idx := map[*qtree.Block]int{}
+	for i, b := range s.order {
+		idx[b] = i
+	}
+	for _, b := range s.order {
+		s.sums = append(s.sums, fingerprintBlock(b, idx))
+	}
+	return s
+}
+
+// Verify re-fingerprints the snapshotted query and reports every deviation
+// as an aliasing violation. A clean run returns nil.
+func (s *TreeSnapshot) Verify() Violations {
+	var vs Violations
+	add := func(block int, format string, args ...any) {
+		vs = append(vs, &Violation{Class: ClassAliasing, Block: block,
+			Detail: fmt.Sprintf(format, args...)})
+	}
+	if s.q.Root != s.root {
+		add(0, "query root block was replaced after the snapshot")
+		return vs
+	}
+	if nf, nb := s.q.IDCounters(); nf != s.nextFrom || nb != s.nextBlk {
+		add(0, "ID counters advanced on the snapshotted query (from %d/%d to %d/%d): a state allocated identities from the shared base",
+			s.nextFrom, s.nextBlk, nf, nb)
+	}
+	order := preorder(s.q.Root)
+	if len(order) != len(s.order) {
+		add(0, "tree shape changed after the snapshot: %d blocks, was %d", len(order), len(s.order))
+		return vs
+	}
+	idx := map[*qtree.Block]int{}
+	for i, b := range order {
+		idx[b] = i
+	}
+	for i, b := range order {
+		if b != s.order[i] {
+			add(b.ID, "block at pre-order position %d was replaced after the snapshot", i)
+			continue
+		}
+		if fingerprintBlock(b, idx) != s.sums[i] {
+			add(b.ID, "block content changed after the snapshot (mutation of a shared tree)")
+		}
+	}
+	return vs
+}
+
+// forEachChild visits b's child blocks in deterministic order: set-operation
+// branches, view bodies, then subquery blocks in expression order.
+func forEachChild(b *qtree.Block, f func(*qtree.Block)) {
+	if b.Set != nil {
+		for _, c := range b.Set.Children {
+			f(c)
+		}
+	}
+	for _, fi := range b.From {
+		if fi != nil && fi.View != nil {
+			f(fi.View)
+		}
+	}
+	b.VisitExprs(func(e qtree.Expr) {
+		if sq, ok := e.(*qtree.Subq); ok && sq.Block != nil {
+			f(sq.Block)
+		}
+	})
+}
+
+// preorder lists the blocks reachable from root in deterministic pre-order,
+// guarding against aliased (cyclic) structures.
+func preorder(root *qtree.Block) []*qtree.Block {
+	var out []*qtree.Block
+	seen := map[*qtree.Block]bool{}
+	var walk func(b *qtree.Block)
+	walk = func(b *qtree.Block) {
+		if b == nil || seen[b] {
+			return
+		}
+		seen[b] = true
+		out = append(out, b)
+		forEachChild(b, walk)
+	}
+	walk(root)
+	return out
+}
+
+// fingerprintBlock hashes one block's content: scalar fields, rendered
+// expressions, from-item metadata, and child-block identities by pre-order
+// index (so re-pointing a link changes the hash even when the new target
+// renders identically).
+func fingerprintBlock(b *qtree.Block, idx map[*qtree.Block]int) uint64 {
+	h := fnv.New64a()
+	render := func(e qtree.Expr) string {
+		if e == nil {
+			return "<nil>"
+		}
+		return e.String()
+	}
+	fmt.Fprintf(h, "B%d d%v l%d", b.ID, b.Distinct, b.Limit)
+	for _, it := range b.Select {
+		fmt.Fprintf(h, "|s:%s:%s", it.Alias, render(it.Expr))
+	}
+	for _, e := range b.Where {
+		fmt.Fprintf(h, "|w:%s", render(e))
+	}
+	for _, e := range b.GroupBy {
+		fmt.Fprintf(h, "|g:%s", render(e))
+	}
+	for _, set := range b.GroupingSets {
+		fmt.Fprintf(h, "|gs:%v", set)
+	}
+	for _, e := range b.Having {
+		fmt.Fprintf(h, "|h:%s", render(e))
+	}
+	for _, o := range b.OrderBy {
+		fmt.Fprintf(h, "|o:%s:%v", render(o.Expr), o.Desc)
+	}
+	for _, fi := range b.From {
+		if fi == nil {
+			fmt.Fprintf(h, "|f:<nil>")
+			continue
+		}
+		fmt.Fprintf(h, "|f:%d:%s:k%d:lat%v", fi.ID, fi.Alias, int(fi.Kind), fi.Lateral)
+		if fi.Table != nil {
+			fmt.Fprintf(h, ":t%s", fi.Table.Name)
+		}
+		if fi.View != nil {
+			fmt.Fprintf(h, ":v%d", idx[fi.View])
+		}
+		for _, c := range fi.Cond {
+			fmt.Fprintf(h, ":c%s", render(c))
+		}
+	}
+	if b.Set != nil {
+		fmt.Fprintf(h, "|set:%d", int(b.Set.Kind))
+		for _, c := range b.Set.Children {
+			fmt.Fprintf(h, ":%d", idx[c])
+		}
+	}
+	b.VisitExprs(func(e qtree.Expr) {
+		if sq, ok := e.(*qtree.Subq); ok && sq.Block != nil {
+			fmt.Fprintf(h, "|sq:%d", idx[sq.Block])
+		}
+	})
+	return h.Sum64()
+}

@@ -1,0 +1,120 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/qtree"
+)
+
+// findView returns the first from item of b that is a view.
+func findView(t *testing.T, b *qtree.Block) *qtree.FromItem {
+	t.Helper()
+	for _, f := range b.From {
+		if f.View != nil {
+			return f
+		}
+	}
+	t.Fatal("query has no view from item")
+	return nil
+}
+
+// TestNegativeAliasing hand-breaks the copy-on-write sharing discipline one
+// invariant at a time and asserts the aliasing checker catches each.
+func TestNegativeAliasing(t *testing.T) {
+	const viewSQL = "SELECT e.EMP_ID, v.N FROM EMP e, (SELECT d.NAME AS N FROM DEPT d) v"
+
+	t.Run("foreign-owned block", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		c := q.CloneCOW()
+		root := c.Mutable(c.Root)
+		other := mustBind(t, "SELECT d.NAME AS N FROM DEPT d")
+		findView(t, root).View = other.Root
+		wantClass(t, Aliasing(c), ClassAliasing)
+	})
+
+	t.Run("owned block under a shared block", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		c := q.CloneCOW()
+		// Splice a clone-owned block under the still-shared root without
+		// materializing the path — exactly the state a transformation that
+		// skipped Mutable would leave behind.
+		nb := c.NewBlock()
+		nb.Select = append([]qtree.SelectItem(nil), findView(t, q.Root).View.Select...)
+		nb.From = append([]*qtree.FromItem(nil), findView(t, q.Root).View.From...)
+		findView(t, q.Root).View = nb
+		wantClass(t, Aliasing(c), ClassAliasing)
+	})
+
+	t.Run("block in two tree positions", func(t *testing.T) {
+		q := mustBind(t, "SELECT v.N, w.M FROM (SELECT d.NAME AS N FROM DEPT d) v, (SELECT d.NAME AS M FROM DEPT d) w")
+		var views []*qtree.FromItem
+		for _, f := range q.Root.From {
+			if f.View != nil {
+				views = append(views, f)
+			}
+		}
+		views[1].View = views[0].View
+		wantClass(t, Aliasing(q), ClassAliasing)
+	})
+
+	t.Run("base mutated after snapshot", func(t *testing.T) {
+		q := mustBind(t, "SELECT e.EMP_ID FROM EMP e WHERE e.DEPT_ID = 1")
+		snap := Snapshot(q)
+		q.Root.Where = nil
+		wantClass(t, snap.Verify(), ClassAliasing)
+	})
+
+	t.Run("ID allocated from the snapshotted base", func(t *testing.T) {
+		q := mustBind(t, "SELECT e.EMP_ID FROM EMP e")
+		snap := Snapshot(q)
+		q.NewFromID()
+		wantClass(t, snap.Verify(), ClassAliasing)
+	})
+
+	t.Run("child link re-pointed after snapshot", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		snap := Snapshot(q)
+		other := mustBind(t, "SELECT d.NAME AS N FROM DEPT d")
+		findView(t, q.Root).View = other.Root
+		wantClass(t, snap.Verify(), ClassAliasing)
+	})
+}
+
+// TestAliasingClean asserts the checker accepts the legal sharing states:
+// an untouched COW clone, a clone mutated through Mutable, and a base that
+// stayed intact while its clone was rewritten.
+func TestAliasingClean(t *testing.T) {
+	const viewSQL = "SELECT e.EMP_ID, v.N FROM EMP e, (SELECT d.NAME AS N FROM DEPT d) v"
+
+	t.Run("fresh clone", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		c := q.CloneCOW()
+		if vs := Aliasing(c); len(vs) > 0 {
+			t.Fatalf("fresh COW clone reported violations: %v", vs)
+		}
+	})
+
+	t.Run("mutated through Mutable", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		snap := Snapshot(q)
+		c := q.CloneCOW()
+		v := c.Mutable(findView(t, q.Root).View)
+		v.Distinct = true
+		if vs := Aliasing(c); len(vs) > 0 {
+			t.Fatalf("Mutable-materialized clone reported violations: %v", vs)
+		}
+		if vs := snap.Verify(); len(vs) > 0 {
+			t.Fatalf("base changed under a legal COW mutation: %v", vs)
+		}
+		if vs := Query(c); len(vs) > 0 {
+			t.Fatalf("semantic checker rejected the COW clone: %v", vs)
+		}
+	})
+
+	t.Run("non-COW query", func(t *testing.T) {
+		q := mustBind(t, viewSQL)
+		if vs := Aliasing(q); len(vs) > 0 {
+			t.Fatalf("plain query reported aliasing violations: %v", vs)
+		}
+	})
+}

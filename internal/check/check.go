@@ -101,7 +101,7 @@ func (c *checker) checkBlock(b *qtree.Block, outer *scope) []Type {
 		return c.outTypes[b]
 	}
 	c.seen[b] = true
-	if b.Query() != c.q {
+	if !c.q.CanHold(b) {
 		c.add(&Violation{Class: ClassDanglingLink, Block: b.ID,
 			Detail: "block is owned by a different query"})
 	}

@@ -411,6 +411,7 @@ func TestEveryClassHasNegativeCase(t *testing.T) {
 		"join-order":        TestNegativeJoinOrder,
 		"contract":          TestNegativeContract,
 		"plan":              TestNegativePlan,
+		"aliasing":          TestNegativeAliasing,
 	} {
 		t.Run(name, fn)
 	}

@@ -74,6 +74,12 @@ const (
 	// hash/merge key arity disagreement, a subquery expression with no
 	// compiled subplan, unresolvable plan columns, or negative estimates.
 	ClassPlan Class = "plan"
+	// ClassAliasing: illegal structure sharing between copy-on-write states
+	// — a block reachable from a clone that belongs to neither the clone nor
+	// its base, a shared block with privately-owned descendants (the owned
+	// region must be upward-closed), or a mutation observed on the shared
+	// base tree after a state was evaluated against it.
+	ClassAliasing Class = "aliasing"
 )
 
 // Classes lists every violation class, for metrics pre-registration and
@@ -82,7 +88,7 @@ func Classes() []Class {
 	return []Class{
 		ClassUnresolvedColumn, ClassParamOrdinal, ClassTypeMismatch,
 		ClassArityMismatch, ClassDanglingLink, ClassGrouping,
-		ClassJoinOrder, ClassContract, ClassPlan,
+		ClassJoinOrder, ClassContract, ClassPlan, ClassAliasing,
 	}
 }
 

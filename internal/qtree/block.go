@@ -149,6 +149,9 @@ type Query struct {
 	Params   []string
 	nextFrom FromID
 	nextBlk  int
+	// cow, when non-nil, marks this query as a copy-on-write clone sharing
+	// blocks with a base query (see cow.go).
+	cow *cowState
 }
 
 // NewQuery creates an empty query against a catalog.
@@ -229,6 +232,7 @@ func (b *Block) FindFrom(id FromID) *FromItem {
 // callers can carry references (e.g. transformation directives, §3.1)
 // across the copy.
 func (q *Query) Clone() (*Query, *Remap) {
+	fullCloneCount.Add(1)
 	nq := &Query{Catalog: q.Catalog, Params: append([]string(nil), q.Params...), nextFrom: 1, nextBlk: 1}
 	r := &Remap{IDs: map[FromID]FromID{}, dst: nq}
 	registerFromIDs(q.Root, r)

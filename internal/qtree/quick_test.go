@@ -1,6 +1,7 @@
 package qtree
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -156,6 +157,85 @@ func genLeaf(rng *rand.Rand) Expr {
 		return &Const{Val: datum.NewInt(int64(rng.Intn(50)))}
 	}
 	return &Col{From: FromID(rng.Intn(2) + 1), Ord: rng.Intn(4), Name: "C"}
+}
+
+// genQuery builds a random two-view query by hand (no catalog): the root
+// block reads two inline views whose FromIDs are exactly the 1 and 2 that
+// genExpr's columns reference, so every generated tree renders
+// deterministically.
+func genQuery(rng *rand.Rand) *Query {
+	q := NewQuery(nil)
+	q.Root = q.NewBlock()
+	for i := 0; i < 2; i++ {
+		v := q.NewBlock()
+		for c := 0; c < 4; c++ {
+			v.Select = append(v.Select, SelectItem{Expr: genLeaf(rng), Alias: fmt.Sprintf("C%d", c)})
+		}
+		q.Root.From = append(q.Root.From, &FromItem{ID: q.NewFromID(), Alias: fmt.Sprintf("v%d", i), View: v})
+	}
+	for i := 0; i <= rng.Intn(3); i++ {
+		q.Root.Where = append(q.Root.Where, genExpr(rng, 2))
+	}
+	for c := 0; c < 2; c++ {
+		q.Root.Select = append(q.Root.Select, SelectItem{Expr: genLeaf(rng), Alias: fmt.Sprintf("S%d", c)})
+	}
+	return q
+}
+
+func TestQuickCloneCOWRendersIdentically(t *testing.T) {
+	// A fresh COW clone shares every block yet renders byte-identically,
+	// and mutating the clone through MutableDeep never changes the base.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := genQuery(rng)
+		before := q.SQL()
+		c := q.CloneCOW()
+		if c.SQL() != before {
+			return false
+		}
+		root := c.MutableDeep(c.Root)
+		root.Where = nil
+		root.Distinct = true
+		for _, fi := range root.From {
+			fi.View.Select = fi.View.Select[:1]
+		}
+		return q.SQL() == before && q.CloneCOW().SQL() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCOWMaterializeIsIDTransparent(t *testing.T) {
+	// Materializing every shared block keeps the identical Remap-free ID
+	// space: block IDs, from IDs and the allocation counters all match the
+	// base, so COW and full-clone searches enumerate the same states.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := genQuery(rng)
+		c := q.CloneCOW()
+		c.MutableDeep(c.Root)
+		if c.nextFrom != q.nextFrom || c.nextBlk != q.nextBlk {
+			return false
+		}
+		if c.Root.ID != q.Root.ID || len(c.Root.From) != len(q.Root.From) {
+			return false
+		}
+		for i, fi := range c.Root.From {
+			base := q.Root.From[i]
+			if fi.ID != base.ID || fi.View.ID != base.View.ID {
+				return false
+			}
+			// Fully materialized: no block of the clone is the base's.
+			if fi.View == base.View {
+				return false
+			}
+		}
+		return c.Root != q.Root && c.SQL() == q.SQL()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestQuickColsUsedMatchesWalk(t *testing.T) {

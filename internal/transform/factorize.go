@@ -281,7 +281,7 @@ func (r *JoinFactorization) Apply(q *qtree.Query, obj, variant int) error {
 		}
 		return applyLateralFactorization(q, o.block, o.table)
 	}
-	b := o.block
+	b := q.Mutable(o.block)
 	plans := analyzeFactorization(b, o.table)
 	if plans == nil {
 		return fmt.Errorf("join factorization: no longer legal")
@@ -289,13 +289,17 @@ func (r *JoinFactorization) Apply(q *qtree.Query, obj, variant int) error {
 	children := b.Set.Children
 	outNames := b.OutCols()
 	nOut := len(children[0].Select)
-	tItem := plans[0].item // moves to the outer block
+	// The common table moves to the outer block; copy the item so the new
+	// tree never aliases a from-item struct still held by a shared branch.
+	tItem := copyFromItem(plans[0].item)
 	nJoin := len(plans[0].joinOrds)
 
 	// Rewrite each branch: drop the table and its join predicates, expose
 	// the join expressions as extra outputs, null out the table's select
-	// positions.
+	// positions. Materializing a branch relinks it into b.Set.Children,
+	// which `children` aliases, so the slice stays current.
 	for bi, br := range children {
+		br = q.Mutable(br)
 		p := plans[bi]
 		removeFromItem(br, p.item.ID)
 		drop := map[int]bool{}
@@ -354,6 +358,7 @@ func (r *JoinFactorization) Apply(q *qtree.Query, obj, variant int) error {
 // item, making the UNION ALL view correlated (lateral), exactly the
 // JPPD-based technique §2.2.5 sketches for non-pullable predicates.
 func applyLateralFactorization(q *qtree.Query, b *qtree.Block, table string) error {
+	b = q.Mutable(q.Resolve(b))
 	plans := analyzeLateralFactorization(b, table)
 	if plans == nil {
 		return fmt.Errorf("join factorization (lateral): no longer legal")
@@ -361,10 +366,16 @@ func applyLateralFactorization(q *qtree.Query, b *qtree.Block, table string) err
 	children := b.Set.Children
 	outNames := b.OutCols()
 	nOut := len(children[0].Select)
-	tItem := plans[0].item
+	tItem := copyFromItem(plans[0].item)
 
 	for bi, br := range children {
 		p := plans[bi]
+		if p.item.ID != tItem.ID {
+			// The redirect below rewrites the branch's whole subtree.
+			br = q.MutableDeep(br)
+		} else {
+			br = q.Mutable(br)
+		}
 		removeFromItem(br, p.item.ID)
 		if p.item.ID != tItem.ID {
 			// Redirect this branch's references to the pulled-out item.

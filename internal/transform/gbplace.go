@@ -50,7 +50,11 @@ func (r *GroupByPlacement) Apply(q *qtree.Query, obj, variant int) error {
 		return fmt.Errorf("group-by placement: object %d out of range", obj)
 	}
 	o := objs[obj]
-	return pushGroupBy(q, o.block, o.block.From[o.from])
+	// Materialize before the push: the table item migrates into the new
+	// view and the block's expressions are rewritten in place, so neither
+	// may still be shared with a copy-on-write base.
+	b := q.Mutable(o.block)
+	return pushGroupBy(q, b, b.From[o.from])
 }
 
 func gbpBlockLegal(b *qtree.Block) bool {

@@ -1,6 +1,8 @@
 package transform
 
 import (
+	"fmt"
+
 	"repro/internal/qtree"
 )
 
@@ -19,6 +21,9 @@ func (*SPJViewMerge) Apply(q *qtree.Query) (bool, error) {
 	changed := false
 	for _, b := range Blocks(q) {
 		for {
+			// The block snapshot goes stale once copy-on-write
+			// materialization forwards a block; follow the forwarding map.
+			b = q.Resolve(b)
 			merged := false
 			for _, f := range b.From {
 				if canMergeSPJ(b, f) {
@@ -52,6 +57,11 @@ func canMergeSPJ(b *qtree.Block, f *qtree.FromItem) bool {
 
 // mergeSPJView splices view f into b.
 func mergeSPJView(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) {
+	// The merge rewrites expressions throughout b's subtree and splices the
+	// view body into b, so the subtree must be private under copy-on-write;
+	// the view item is re-located in the materialized block.
+	b = q.MutableDeep(q.Resolve(b))
+	f = b.FindFrom(f.ID)
 	v := f.View
 	// Replace references to the view's outputs everywhere in b's subtree.
 	substituteView(b, f.ID, func(ord int) qtree.Expr {
@@ -87,6 +97,7 @@ func (*JoinElimination) Apply(q *qtree.Query) (bool, error) {
 }
 
 func eliminateOne(q *qtree.Query, b *qtree.Block) bool {
+	b = q.Resolve(b)
 	for _, t := range b.From {
 		if !t.IsTable() {
 			continue
@@ -97,7 +108,7 @@ func eliminateOne(q *qtree.Query, b *qtree.Block) bool {
 				return true
 			}
 		case qtree.JoinLeftOuter:
-			if eliminateUniqueOuter(b, t) {
+			if eliminateUniqueOuter(q, b, t) {
 				return true
 			}
 		}
@@ -216,6 +227,10 @@ func eliminateFKJoin(q *qtree.Query, b *qtree.Block, t *qtree.FromItem) bool {
 		}
 		// Eliminate: drop the join conjuncts and the table; add NOT NULL
 		// filters for nullable FK columns (Q4 -> Q6 with the null guard).
+		// Only b itself is mutated, so a shallow materialization suffices;
+		// matched where-indexes stay valid because the copy preserves slice
+		// order.
+		b = q.Mutable(b)
 		var keep []qtree.Expr
 		for wi, e := range b.Where {
 			if !matched[wi] {
@@ -240,7 +255,7 @@ func eliminateFKJoin(q *qtree.Query, b *qtree.Block, t *qtree.FromItem) bool {
 // eliminateUniqueOuter removes a left-outer-joined table whose join
 // condition equates a unique key of the table and which is otherwise
 // unreferenced (Q5 -> Q6).
-func eliminateUniqueOuter(b *qtree.Block, t *qtree.FromItem) bool {
+func eliminateUniqueOuter(q *qtree.Query, b *qtree.Block, t *qtree.FromItem) bool {
 	var keyOrds []int
 	for _, cond := range t.Cond {
 		l, r, ok := eqConjunct(cond)
@@ -262,6 +277,7 @@ func eliminateUniqueOuter(b *qtree.Block, t *qtree.FromItem) bool {
 	if referencedOutside(b, t.ID, nil) {
 		return false
 	}
+	b = q.Mutable(b)
 	removeFromItem(b, t.ID)
 	return true
 }
@@ -291,6 +307,7 @@ func (*UnnestMerge) Apply(q *qtree.Query) (bool, error) {
 }
 
 func unnestMergeOne(q *qtree.Query, b *qtree.Block) bool {
+	b = q.Resolve(b)
 	if b.IsSetOp() {
 		return false
 	}
@@ -343,7 +360,19 @@ func canUnnestMerge(q *qtree.Query, b *qtree.Block, s *qtree.Subq) bool {
 // applyUnnestMerge replaces the subquery conjunct with a semijoined or
 // antijoined from item (Q2 -> Q3).
 func applyUnnestMerge(q *qtree.Query, b *qtree.Block, wi int, s *qtree.Subq) {
-	sub := s.Block
+	// The subquery's from item migrates into b and is retagged as a join, so
+	// both blocks must be private; materializing the subquery block rebuilds
+	// the conjunct's spine, so s is re-fetched afterwards.
+	b = q.Mutable(b)
+	sub := q.Mutable(s.Block)
+	ns, ok := b.Where[wi].(*qtree.Subq)
+	if !ok {
+		// The caller just found a subquery at this conjunct; anything else
+		// here means the tree changed underneath us. The heuristic driver
+		// recovers panics and quarantines the rule.
+		panic(fmt.Sprintf("transform: unnest-merge conjunct %d is %T, want *qtree.Subq", wi, b.Where[wi]))
+	}
+	s = ns
 	item := sub.From[0] // keeps its from ID: correlation references hold
 	var conds []qtree.Expr
 	// Connecting condition(s): left op select-item.

@@ -24,6 +24,8 @@ func (*PredicateMoveAround) Name() string { return "filter predicate move around
 func (*PredicateMoveAround) Apply(q *qtree.Query) (bool, error) {
 	changed := false
 	for _, b := range Blocks(q) {
+		// Copy-on-write materialization forwards blocks; each helper
+		// re-resolves so the later passes see the earlier passes' writes.
 		if pullUpImplied(q, b) {
 			changed = true
 		}
@@ -43,6 +45,7 @@ func (*PredicateMoveAround) Apply(q *qtree.Query) (bool, error) {
 // partners. Set-operation views are skipped: a branch-local predicate is
 // not implied by the union.
 func pullUpImplied(q *qtree.Query, b *qtree.Block) bool {
+	b = q.Resolve(b)
 	if b.IsSetOp() {
 		return false
 	}
@@ -91,6 +94,7 @@ func pullUpImplied(q *qtree.Query, b *qtree.Block) bool {
 				continue
 			}
 			existing[up.String()] = true
+			b = q.Mutable(b)
 			b.Where = append(b.Where, up)
 			changed = true
 		}
@@ -101,6 +105,7 @@ func pullUpImplied(q *qtree.Query, b *qtree.Block) bool {
 // transitiveClose derives new constant predicates across equality classes:
 // given a = b and a <op> const, add b <op> const (bounded, deduplicated).
 func transitiveClose(q *qtree.Query, b *qtree.Block) bool {
+	b = q.Resolve(b)
 	if b.IsSetOp() {
 		return false
 	}
@@ -186,6 +191,12 @@ func transitiveClose(q *qtree.Query, b *qtree.Block) bool {
 			}
 		}
 	}
+	if len(derived) == 0 {
+		return false
+	}
+	// Guarded so a no-op pass never writes (even a same-value slice-header
+	// store) into a block shared with the copy-on-write base.
+	b = q.Mutable(b)
 	b.Where = append(b.Where, derived...)
 	return changed
 }
@@ -193,6 +204,7 @@ func transitiveClose(q *qtree.Query, b *qtree.Block) bool {
 // pushIntoViews pushes eligible conjuncts of b into the view from items
 // they constrain.
 func pushIntoViews(q *qtree.Query, b *qtree.Block) bool {
+	b = q.Resolve(b)
 	if b.IsSetOp() {
 		return false
 	}
@@ -207,6 +219,9 @@ func pushIntoViews(q *qtree.Query, b *qtree.Block) bool {
 			continue
 		}
 		if pushPredIntoView(q, b, target, e) {
+			// A successful push materialized the view's path, which runs
+			// through b; re-resolve before dropping the outer conjunct.
+			b = q.Mutable(q.Resolve(b))
 			removeWhereAt(b, wi)
 			wi--
 			changed = true
@@ -288,6 +303,7 @@ func pushIntoBlock(q *qtree.Query, v *qtree.Block, viewID qtree.FromID, e qtree.
 			return false
 		}
 	}
+	v = q.Mutable(v)
 	v.Where = append(v.Where, pushed)
 	return true
 }
@@ -347,11 +363,12 @@ func (*GroupPruning) Name() string { return "group pruning" }
 func (*GroupPruning) Apply(q *qtree.Query) (bool, error) {
 	changed := false
 	for _, b := range Blocks(q) {
+		b = q.Resolve(b)
 		for _, f := range b.From {
 			if f.View == nil || f.View.GroupingSets == nil {
 				continue
 			}
-			if pruneGroups(b, f) {
+			if pruneGroups(q, b, f) {
 				changed = true
 			}
 		}
@@ -359,7 +376,7 @@ func (*GroupPruning) Apply(q *qtree.Query) (bool, error) {
 	return changed, nil
 }
 
-func pruneGroups(b *qtree.Block, f *qtree.FromItem) bool {
+func pruneGroups(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) bool {
 	v := f.View
 	// Find grouping columns with null-rejecting outer predicates.
 	required := map[int]bool{} // GroupBy index that must be non-null
@@ -404,10 +421,12 @@ func pruneGroups(b *qtree.Block, f *qtree.FromItem) bool {
 		for i := range full {
 			full[i] = i
 		}
+		v = q.Mutable(v)
 		v.GroupingSets = [][]int{full}
 		v.Where = append(v.Where, falseConst())
 		return true
 	}
+	v = q.Mutable(v)
 	v.GroupingSets = kept
 	return true
 }

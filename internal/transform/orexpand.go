@@ -78,7 +78,9 @@ func (r *OrExpansion) Apply(q *qtree.Query, obj, variant int) error {
 	if obj >= len(objs) {
 		return fmt.Errorf("or expansion: object %d out of range", obj)
 	}
-	b := objs[obj].block
+	// The block becomes a pure set-op header; materialize it first so the
+	// branch clones and the header rewrite never touch a shared block.
+	b := q.Mutable(objs[obj].block)
 	wi := objs[obj].where
 	nBranches := len(splitOr(b.Where[wi]))
 

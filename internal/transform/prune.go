@@ -21,11 +21,13 @@ func (*RedundancyPruning) Name() string { return "redundancy pruning" }
 func (*RedundancyPruning) Apply(q *qtree.Query) (bool, error) {
 	changed := false
 	for _, b := range Blocks(q) {
-		if pruneDistinct(b) {
+		b = q.Resolve(b)
+		if pruneDistinct(q, b) {
 			changed = true
+			b = q.Resolve(b)
 		}
 		for _, f := range b.From {
-			if f.View != nil && pruneViewOrder(b, f.View) {
+			if f.View != nil && pruneViewOrder(q, b, f.View) {
 				changed = true
 			}
 		}
@@ -35,7 +37,7 @@ func (*RedundancyPruning) Apply(q *qtree.Query) (bool, error) {
 
 // pruneDistinct drops DISTINCT when the select list functionally
 // determines whole rows: it contains a unique key of every from item.
-func pruneDistinct(b *qtree.Block) bool {
+func pruneDistinct(q *qtree.Query, b *qtree.Block) bool {
 	if !b.Distinct || b.IsSetOp() || b.HasGroupBy() || len(b.From) == 0 {
 		return false
 	}
@@ -68,6 +70,7 @@ func pruneDistinct(b *qtree.Block) bool {
 			return false
 		}
 	}
+	b = q.Mutable(b)
 	b.Distinct = false
 	return true
 }
@@ -76,10 +79,11 @@ func pruneDistinct(b *qtree.Block) bool {
 // the view itself has no row limit and the containing block has none
 // either (a ROWNUM-limited outer block observes arrival order, the Q16
 // top-k pattern).
-func pruneViewOrder(outer *qtree.Block, v *qtree.Block) bool {
+func pruneViewOrder(q *qtree.Query, outer *qtree.Block, v *qtree.Block) bool {
 	if len(v.OrderBy) == 0 || v.Limit > 0 || outer.Limit > 0 {
 		return false
 	}
+	v = q.Mutable(v)
 	v.OrderBy = nil
 	return true
 }

@@ -61,8 +61,13 @@ func (r *PredicatePullup) Apply(q *qtree.Query, obj, variant int) error {
 		return fmt.Errorf("predicate pullup: object %d out of range", obj)
 	}
 	o := objs[obj]
-	f := o.block.From[o.from]
-	v := f.View
+	// Both the view (losing the predicate, gaining hidden outputs) and the
+	// containing block (gaining the pulled predicate) are mutated, and the
+	// predicate's subquery blocks are rewritten in place — privatize the
+	// view's subtree under copy-on-write.
+	b := q.Mutable(o.block)
+	f := b.From[o.from]
+	v := q.MutableDeep(f.View)
 	pred := v.Where[o.where]
 	v.Where = append(v.Where[:o.where:o.where], v.Where[o.where+1:]...)
 
@@ -116,6 +121,6 @@ func (r *PredicatePullup) Apply(q *qtree.Query, obj, variant int) error {
 		}
 		return true
 	})
-	o.block.Where = append(o.block.Where, pulled)
+	b.Where = append(b.Where, pulled)
 	return nil
 }

@@ -53,7 +53,7 @@ func (r *SetOpIntoJoin) Apply(q *qtree.Query, obj, variant int) error {
 	if obj >= len(objs) {
 		return fmt.Errorf("set-op into join: object %d out of range", obj)
 	}
-	b := objs[obj].block
+	b := q.Mutable(objs[obj].block)
 	kind := b.Set.Kind
 	c1, c2 := b.Set.Children[0], b.Set.Children[1]
 	outNames := b.OutCols()
@@ -86,6 +86,9 @@ func (r *SetOpIntoJoin) Apply(q *qtree.Query, obj, variant int) error {
 	switch variant {
 	case 2:
 		// Duplicates removed at the input: the left view becomes DISTINCT.
+		// The child may still be shared with the base; it is reachable here
+		// through b.From[0].View, so materialization relinks that slot.
+		c1 = q.Mutable(c1)
 		c1.Distinct = true
 	default:
 		// Duplicates removed at the output.

@@ -88,7 +88,9 @@ func (r *UnnestSubquery) Apply(q *qtree.Query, obj, variant int) error {
 			return err
 		}
 		if variant == 2 {
-			return mergeGroupByView(q, o.block, fv)
+			// The unnest may have materialized o.block under copy-on-write;
+			// merge into its current incarnation.
+			return mergeGroupByView(q, q.Resolve(o.block), fv)
 		}
 		return nil
 	default:
@@ -236,12 +238,17 @@ func aggUnnestLegal(b *qtree.Block, s *qtree.Subq) bool {
 // a group-by inline view joined on the correlation columns. It returns the
 // new from item so interleaving can merge it further.
 func unnestAggSubquery(q *qtree.Query, o unnestObj) (*qtree.FromItem, error) {
-	b := o.block
+	b := q.Mutable(o.block)
+	if _, ok := b.Where[o.where].(*qtree.Bin); !ok {
+		return nil, fmt.Errorf("transform: aggregate-subquery site %d is %T, want *qtree.Bin", o.where, b.Where[o.where])
+	}
+	// Materializing the subquery block rebuilds the conjunct's expression
+	// spine under copy-on-write, so the comparison is re-fetched after.
+	sub := q.Mutable(o.subq.Block)
 	bin, ok := b.Where[o.where].(*qtree.Bin)
 	if !ok {
 		return nil, fmt.Errorf("transform: aggregate-subquery site %d is %T, want *qtree.Bin", o.where, b.Where[o.where])
 	}
-	sub := o.subq.Block
 	defined := subtreeDefined(sub)
 
 	v := q.NewBlock()
@@ -268,13 +275,16 @@ func unnestAggSubquery(q *qtree.Query, o unnestObj) (*qtree.FromItem, error) {
 	b.From = append(b.From, fv)
 
 	// Replace the scalar subquery in the comparison with the view's
-	// aggregate output.
+	// aggregate output. The conjunct slot gets a fresh comparison node —
+	// the old node may be shared with the copy-on-write base.
 	aggCol := &qtree.Col{From: fv.ID, Ord: 0, Name: "AGG_VAL"}
-	if _, ok := bin.L.(*qtree.Subq); ok {
-		bin.L = aggCol
+	nbin := &qtree.Bin{Op: bin.Op, L: bin.L, R: bin.R}
+	if _, ok := nbin.L.(*qtree.Subq); ok {
+		nbin.L = aggCol
 	} else {
-		bin.R = aggCol
+		nbin.R = aggCol
 	}
+	b.Where[o.where] = nbin
 	// Join the view on the correlation columns.
 	for i, out := range corrOuter {
 		b.Where = append(b.Where, &qtree.Bin{
@@ -358,9 +368,11 @@ func notInNullSafe(b *qtree.Block, s *qtree.Subq) bool {
 // unnestToJoinView transforms a multi-table (or grouped) quantified
 // subquery into an inline view joined by semijoin or (null-aware) antijoin.
 func unnestToJoinView(q *qtree.Query, o unnestObj) error {
-	b := o.block
+	b := q.Mutable(o.block)
 	s := o.subq
-	sub := s.Block
+	// The subquery's from items and grouping move into the new view, so its
+	// block must be private before the move.
+	sub := q.Mutable(s.Block)
 	defined := subtreeDefined(sub)
 
 	v := q.NewBlock()

@@ -93,6 +93,15 @@ func emptyRemap(q *qtree.Query) *qtree.Remap {
 	return qtree.NewRemap(q)
 }
 
+// copyFromItem shallow-copies a from item (private Cond slice, same ID and
+// view pointer). Rules that move an item between blocks use this so the
+// receiving tree never aliases a struct still held by a copy-on-write base.
+func copyFromItem(f *qtree.FromItem) *qtree.FromItem {
+	nf := *f
+	nf.Cond = append([]qtree.Expr(nil), f.Cond...)
+	return &nf
+}
+
 // removeFromItem deletes the from item with the given ID from the block.
 func removeFromItem(b *qtree.Block, id qtree.FromID) {
 	out := b.From[:0]

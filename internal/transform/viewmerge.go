@@ -142,6 +142,14 @@ func canMergeGroupByView(b *qtree.Block, f *qtree.FromItem) bool {
 // outer tables (Q10 -> Q11, with j.rowid in the GROUP BY exactly as the
 // paper shows).
 func mergeGroupByView(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) error {
+	// The merge rewrites expressions across block boundaries and splices the
+	// view body into b, so the whole subtree must be private under
+	// copy-on-write; the view item is re-located in the materialized block.
+	b = q.MutableDeep(q.Resolve(b))
+	f = b.FindFrom(f.ID)
+	if f == nil {
+		return errors.New("group-by view merge: view item not found")
+	}
 	if !canMergeGroupByView(b, f) {
 		return errors.New("group-by view merge: not legal here")
 	}
@@ -326,6 +334,13 @@ const jppdProbe qtree.FromID = -99
 // otherwise unused: the distinct is dropped and the join becomes a
 // semijoin.
 func jppdView(q *qtree.Query, b *qtree.Block, f *qtree.FromItem) error {
+	// Pushdown mutates the view body (every set-operation branch) and the
+	// containing block; privatize the subtree and re-locate the view item.
+	b = q.MutableDeep(q.Resolve(b))
+	f = b.FindFrom(f.ID)
+	if f == nil {
+		return errors.New("jppd: view item not found")
+	}
 	conds := jppdConds(b, f)
 	if len(conds) == 0 {
 		return errors.New("jppd: no pushable join predicates")
