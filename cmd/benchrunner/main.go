@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par|memo [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
+//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par|memo|server|overload [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
 package main
 
 import (
@@ -19,15 +19,20 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cbqt"
+	"repro/internal/faultinject"
 	"repro/internal/obsv"
 	"repro/internal/storage"
 	"repro/internal/testkit"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, memo, server")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, memo, server, overload")
 	n := flag.Int("n", 12, "queries per workload class")
 	serverOps := flag.Int("server-ops", 64, "executes per session in the server experiment")
+	maxInflight := flag.Int("max-inflight", 4, "admission slots in the overload experiment")
+	point := flag.Duration("point", 2*time.Second, "measurement window per offered-load point in the overload experiment")
+	overloadDelay := flag.Duration("overload-delay", 10*time.Millisecond,
+		"simulated optimizer service time per query in the overload experiment; keeps the admission gate, not the CPU, the bottleneck on small machines (0 = pure CPU)")
 	repeats := flag.Int("repeats", 3, "execution repetitions per query (min taken)")
 	seed := flag.Int64("seed", 1, "data generation seed")
 	small := flag.Bool("small", false, "use the small data sizes (quick smoke run)")
@@ -145,6 +150,23 @@ func main() {
 	})
 	run("server", func() error {
 		r, err := bench.ServerThroughput(ctx, db, []int{1, 4, 16}, *serverOps, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	})
+	run("overload", func() error {
+		opts := cbqt.DefaultOptions()
+		opts.Parallelism = 1
+		if *overloadDelay > 0 {
+			opts.Faults = faultinject.New(faultinject.Fault{
+				Site: "heuristics", Kind: faultinject.KindDelay, Delay: *overloadDelay,
+			})
+		}
+		r, err := bench.Overload(ctx, bench.OverloadConfig{
+			DB: db, Opts: opts, MaxInflight: *maxInflight, PointDuration: *point, Seed: *seed,
+		})
 		if err != nil {
 			return err
 		}

@@ -62,12 +62,14 @@ func main() {
 	faults := flag.String("faults", "", "comma-separated fault injections, e.g. 'panic@apply:GBP,error@state:Unnest#3,delay(2ms)@state:*'")
 	chk := flag.Bool("check", true, "statically verify every transformation state and the final plan; violations quarantine the offending rule")
 	connect := flag.String("connect", "", "run as a client of the cbqtd daemon at this address")
+	deadline := flag.Duration("deadline", 0, "client mode: per-query deadline, propagated to the server so it stops optimizing and executing on expiry (0 = none)")
+	retries := flag.Int("retries", 1, "client mode: attempts per query; retryable failures (OVERLOADED, connection reset) back off and retry (1 = no retries)")
 	var binds bindFlags
 	flag.Var(&binds, "bind", "bind parameter as name=value (repeatable; value parsed as int, float, then string)")
 	flag.Parse()
 
 	if *connect != "" {
-		runRemote(*connect, *strategy, *timeout, *maxStates, *chk, binds, *maxRows)
+		runRemote(*connect, *strategy, *timeout, *maxStates, *chk, binds, *maxRows, *deadline, *retries)
 		return
 	}
 

@@ -43,12 +43,24 @@ func parseDatum(s string) datum.Datum {
 }
 
 // runRemote executes queries against a cbqtd daemon instead of in-process.
-func runRemote(addr, strategy string, timeout time.Duration, maxStates int, chk bool, binds []server.BindValue, maxRows int) {
-	cli, err := server.Dial(addr, &server.SessionOptions{
-		Strategy:  strategy,
-		TimeoutMS: timeout.Milliseconds(),
-		MaxStates: maxStates,
-		Check:     &chk,
+// deadline bounds each query on the server (it rides the wire into the
+// optimizer's budget and the executor); retries > 1 enables the client's
+// backoff-and-retry of retryable failures like OVERLOADED.
+func runRemote(addr, strategy string, timeout time.Duration, maxStates int, chk bool, binds []server.BindValue, maxRows int, deadline time.Duration, retries int) {
+	retry := server.RetryPolicy{}
+	if retries > 1 {
+		retry = server.DefaultRetryPolicy()
+		retry.MaxAttempts = retries
+	}
+	cli, err := server.DialWith(addr, server.DialOptions{
+		Session: &server.SessionOptions{
+			Strategy:  strategy,
+			TimeoutMS: timeout.Milliseconds(),
+			MaxStates: maxStates,
+			Check:     &chk,
+		},
+		Retry:       retry,
+		CallTimeout: deadline,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "connect %s: %v\n", addr, err)

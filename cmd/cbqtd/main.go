@@ -41,6 +41,12 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 0, "plan cache bound (0 = default)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for sessions to finish")
 	metricsEvery := flag.Duration("metrics-every", 0, "periodically log the metrics registry (0 = never)")
+	maxInflight := flag.Int("max-inflight", 0, "admission control: concurrent optimize+execute spans (0 = unbounded)")
+	maxQueue := flag.Int("max-queue", 0, "admission control: waiters allowed when all inflight slots are busy")
+	queueWait := flag.Duration("queue-wait", 0, "admission control: max time a request may queue before it is shed (0 = 1s default)")
+	memHigh := flag.Int64("mem-high-water", 0, "shed new optimizations when estimated optimizer memory would exceed this many bytes (0 = off)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap sessions idle longer than this (0 = never; clients ping to stay alive)")
+	writeTimeout := flag.Duration("write-timeout", 0, "sever sessions whose peer stops reading responses for this long (0 = never)")
 	flag.Parse()
 
 	var db *storage.DB
@@ -79,6 +85,13 @@ func main() {
 		Registry:        reg,
 		CacheOff:        *cacheOff,
 		CacheMaxEntries: *cacheEntries,
+
+		MaxInflight:       *maxInflight,
+		MaxQueue:          *maxQueue,
+		QueueWait:         *queueWait,
+		MemHighWaterBytes: *memHigh,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
 	})
 
 	l, err := net.Listen("tcp", *addr)

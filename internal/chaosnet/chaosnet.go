@@ -1,0 +1,386 @@
+// Package chaosnet is the wire-level arm of the fault-injection story:
+// where package faultinject fires faults inside the optimize path, chaosnet
+// injects them between client and server. It is a TCP proxy that forwards
+// bytes between each accepted connection and a target address, and — on a
+// deterministic, seed-driven schedule — resets connections, truncates
+// streams mid-frame, injects latency spikes, or blackholes a direction
+// entirely.
+//
+// Determinism: whether and how a connection is faulted is a pure function
+// of (Config.Seed, the connection's accept index, and the byte offsets of
+// its streams). Nothing depends on the wall clock, so a soak test replays
+// the same fault schedule at every run; only the interleaving of concurrent
+// connections varies.
+//
+// Fault sites (the chaos analogue of faultinject's site names):
+//
+//	accept        the connection is reset before any byte is proxied
+//	c2s           the client→server direction faults at a byte offset
+//	s2c           the server→client direction faults at a byte offset
+//
+// Kinds:
+//
+//	reset         both sides are closed abruptly (RST where possible)
+//	truncate      bytes up to the offset are delivered, then a clean close
+//	              — the peer sees a frame cut mid-payload
+//	delay         one latency spike of Config.Delay at the offset
+//	blackhole     forwarding in the faulted direction stops silently; the
+//	              stalled peer's own deadline must end the exchange
+package chaosnet
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Kind selects what a scheduled wire fault does.
+type Kind int
+
+// The wire fault kinds.
+const (
+	KindReset Kind = iota
+	KindTruncate
+	KindDelay
+	KindBlackhole
+)
+
+var kindNames = [...]string{
+	KindReset: "reset", KindTruncate: "truncate",
+	KindDelay: "delay", KindBlackhole: "blackhole",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// AllKinds is the default fault mix.
+func AllKinds() []Kind { return []Kind{KindReset, KindTruncate, KindDelay, KindBlackhole} }
+
+// Metric names published to the registry.
+const (
+	MetricConns  = "chaosnet.conns"
+	MetricFaults = "chaosnet.faults"
+	// MetricKindPrefix prefixes the per-kind fault counters
+	// ("chaosnet.kind.reset").
+	MetricKindPrefix = "chaosnet.kind."
+)
+
+// Config assembles a Proxy.
+type Config struct {
+	// Target is the real server's address.
+	Target string
+	// Seed drives the deterministic fault schedule.
+	Seed int64
+	// FaultEvery faults every Nth accepted connection (0 = no faults:
+	// the proxy is a clean relay).
+	FaultEvery int
+	// Kinds is the enabled fault mix (nil = AllKinds).
+	Kinds []Kind
+	// Delay is the latency-spike magnitude for KindDelay (0 = 50ms).
+	Delay time.Duration
+	// MaxFaultBytes bounds the byte offset at which a stream fault
+	// triggers — drawn uniformly from [0, MaxFaultBytes) (0 = 4096). An
+	// offset of 0 faults the accept site itself for KindReset.
+	MaxFaultBytes int64
+	// Registry receives the chaosnet.* counters (nil = none).
+	Registry *obsv.Registry
+}
+
+// Event records one fault that fired, for test assertions.
+type Event struct {
+	Conn  int    // accept index
+	Kind  Kind   //
+	Dir   string // "accept", "c2s" or "s2c"
+	After int64  // byte offset at which the fault fired
+}
+
+// plan is one connection's predetermined fault.
+type plan struct {
+	kind  Kind
+	dir   string // "c2s" or "s2c"
+	after int64
+}
+
+// Proxy is the chaos relay. Start it with Start; stop it with Close.
+type Proxy struct {
+	cfg Config
+	l   net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	events []Event
+	nconn  int
+	closed bool
+
+	wg sync.WaitGroup
+
+	connsCtr  *obsv.Counter
+	faultsCtr *obsv.Counter
+}
+
+// Start listens on a fresh loopback port and relays to cfg.Target.
+func Start(cfg Config) (*Proxy, error) {
+	if cfg.Delay <= 0 {
+		cfg.Delay = 50 * time.Millisecond
+	}
+	if cfg.MaxFaultBytes <= 0 {
+		cfg.MaxFaultBytes = 4096
+	}
+	if cfg.Kinds == nil {
+		cfg.Kinds = AllKinds()
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		cfg:       cfg,
+		l:         l,
+		conns:     map[net.Conn]struct{}{},
+		connsCtr:  cfg.Registry.Counter(MetricConns),
+		faultsCtr: cfg.Registry.Counter(MetricFaults),
+	}
+	p.wg.Add(1)
+	go p.serve()
+	return p, nil
+}
+
+// Addr is the proxy's listen address — point clients here.
+func (p *Proxy) Addr() string { return p.l.Addr().String() }
+
+// Events returns the faults fired so far, in firing order.
+func (p *Proxy) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Event(nil), p.events...)
+}
+
+// Conns reports how many connections the proxy has accepted.
+func (p *Proxy) Conns() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.nconn
+}
+
+// Close stops accepting, severs every proxied connection (including
+// blackholed ones) and waits for the relay goroutines to drain.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.l.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) serve() {
+	defer p.wg.Done()
+	for {
+		client, err := p.l.Accept()
+		if err != nil {
+			return // listener closed by Close
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			client.Close()
+			return
+		}
+		idx := p.nconn
+		p.nconn++
+		p.conns[client] = struct{}{}
+		p.mu.Unlock()
+		p.connsCtr.Inc()
+
+		p.wg.Add(1)
+		go p.relay(client, idx)
+	}
+}
+
+// planFor computes the connection's fault deterministically from the seed
+// and accept index.
+func (p *Proxy) planFor(idx int) *plan {
+	if p.cfg.FaultEvery <= 0 || (idx+1)%p.cfg.FaultEvery != 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.cfg.Seed + int64(idx)*1009))
+	pl := &plan{
+		kind:  p.cfg.Kinds[rng.Intn(len(p.cfg.Kinds))],
+		after: rng.Int63n(p.cfg.MaxFaultBytes),
+	}
+	if rng.Intn(2) == 0 {
+		pl.dir = "c2s"
+	} else {
+		pl.dir = "s2c"
+	}
+	return pl
+}
+
+// record notes a fired fault.
+func (p *Proxy) record(e Event) {
+	p.mu.Lock()
+	p.events = append(p.events, e)
+	p.mu.Unlock()
+	p.faultsCtr.Inc()
+	p.cfg.Registry.Counter(MetricKindPrefix + e.Kind.String()).Inc()
+}
+
+// track registers a server-side conn for Close-time severing.
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// relay proxies one client connection to the target, applying the
+// connection's fault plan.
+func (p *Proxy) relay(client net.Conn, idx int) {
+	defer p.wg.Done()
+	pl := p.planFor(idx)
+
+	// A reset scheduled at offset 0 fires at the accept site: the client
+	// is refused before the server ever sees the connection.
+	if pl != nil && pl.kind == KindReset && pl.after == 0 {
+		p.record(Event{Conn: idx, Kind: KindReset, Dir: "accept"})
+		abortConn(client)
+		p.untrack(client)
+		return
+	}
+
+	server, err := net.DialTimeout("tcp", p.cfg.Target, 10*time.Second)
+	if err != nil {
+		client.Close()
+		p.untrack(client)
+		return
+	}
+	p.track(server)
+
+	var once sync.Once
+	closeBoth := func() {
+		once.Do(func() {
+			client.Close()
+			server.Close()
+			p.untrack(client)
+			p.untrack(server)
+		})
+	}
+	abortBoth := func() {
+		once.Do(func() {
+			abortConn(client)
+			abortConn(server)
+			p.untrack(client)
+			p.untrack(server)
+		})
+	}
+
+	copyDir := func(dst, src net.Conn, dir string) {
+		defer p.wg.Done()
+		var fault *plan
+		if pl != nil && pl.dir == dir {
+			fault = pl
+		}
+		forwarded := int64(0)
+		buf := make([]byte, 16<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				chunk := buf[:n]
+				if fault != nil && forwarded+int64(n) >= fault.after {
+					// The fault offset falls inside this chunk.
+					cut := fault.after - forwarded
+					switch fault.kind {
+					case KindReset:
+						p.record(Event{Conn: idx, Kind: KindReset, Dir: dir, After: fault.after})
+						abortBoth()
+						return
+					case KindTruncate:
+						dst.Write(chunk[:cut])
+						p.record(Event{Conn: idx, Kind: KindTruncate, Dir: dir, After: fault.after})
+						closeBoth()
+						return
+					case KindDelay:
+						p.record(Event{Conn: idx, Kind: KindDelay, Dir: dir, After: fault.after})
+						time.Sleep(p.cfg.Delay)
+						fault = nil // one spike, then clean forwarding
+					case KindBlackhole:
+						p.record(Event{Conn: idx, Kind: KindBlackhole, Dir: dir, After: fault.after})
+						if cut > 0 {
+							dst.Write(chunk[:cut])
+						}
+						// Silently discard from here on: keep reading so
+						// the sender never blocks, deliver nothing. The
+						// stalled peer's deadline ends the exchange;
+						// Proxy.Close severs whatever remains.
+						for {
+							if _, err := src.Read(buf); err != nil {
+								closeBoth()
+								return
+							}
+						}
+					}
+				}
+				if _, werr := dst.Write(chunk); werr != nil {
+					closeBoth()
+					return
+				}
+				forwarded += int64(n)
+			}
+			if rerr != nil {
+				if rerr == io.EOF {
+					// Half-close: propagate the FIN so the peer sees a
+					// clean EOF, keep the other direction alive.
+					if tc, ok := dst.(*net.TCPConn); ok {
+						tc.CloseWrite()
+						return
+					}
+				}
+				closeBoth()
+				return
+			}
+		}
+	}
+
+	p.wg.Add(2)
+	go copyDir(server, client, "c2s")
+	go copyDir(client, server, "s2c")
+}
+
+// abortConn closes c abruptly — SO_LINGER 0 turns the close into an RST on
+// TCP, which is what a crashed peer looks like.
+func abortConn(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

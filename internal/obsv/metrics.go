@@ -195,6 +195,17 @@ func (r *Registry) CounterValue(name string) int64 {
 	return c.Value()
 }
 
+// GaugeValue reads a gauge without creating it.
+func (r *Registry) GaugeValue(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	r.mu.Unlock()
+	return g.Value()
+}
+
 // Snapshot is a point-in-time copy of every metric value.
 type Snapshot struct {
 	Counters   map[string]int64

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Admission-control metric names published to the registry.
+const (
+	// MetricInflight gauges optimize+execute spans currently admitted.
+	MetricInflight = "server.inflight"
+	// MetricQueueDepth gauges requests waiting for an inflight slot.
+	MetricQueueDepth = "server.queue.depth"
+	// MetricAdmitted counts requests granted an inflight slot.
+	MetricAdmitted = "server.admitted"
+	// MetricShedQueue counts requests shed because the wait queue was full.
+	MetricShedQueue = "server.shed.queue_full"
+	// MetricShedWait counts requests shed because their queue wait timed out.
+	MetricShedWait = "server.shed.queue_wait"
+	// MetricShedMem counts requests shed by the memory high-water mark.
+	MetricShedMem = "server.shed.mem_pressure"
+	// MetricShed counts every shed request (the sum of the shed.* causes).
+	MetricShed = "server.shed"
+	// MetricQueueWaitMS is a histogram of admitted requests' queue wait.
+	MetricQueueWaitMS = "server.queue.wait_ms"
+	// MetricMemEstimated gauges the EWMA per-query optimizer-memory
+	// estimate fed by cbqt Stats.MemoStateBytes.
+	MetricMemEstimated = "server.mem.estimated_per_query"
+	// MetricMemReserved gauges the bytes reserved by admitted requests.
+	MetricMemReserved = "server.mem.reserved"
+	// MetricDeadlineExceeded counts requests failed by their deadline.
+	MetricDeadlineExceeded = "server.deadline_exceeded"
+	// MetricIdleReaped counts sessions reaped by the idle timeout.
+	MetricIdleReaped = "server.sessions.idle_reaped"
+	// MetricWriteTimeouts counts response writes severed by the write
+	// deadline (a peer that stopped reading).
+	MetricWriteTimeouts = "server.write_timeouts"
+	// MetricPings counts heartbeat frames answered.
+	MetricPings = "server.pings"
+)
+
+// DefaultQueueWait bounds how long an admitted-pending request may sit in
+// the wait queue when Config.QueueWait is zero.
+const DefaultQueueWait = time.Second
+
+// admission is the server's overload gate: a bounded semaphore of
+// concurrent optimize+execute spans, a bounded wait queue in front of it,
+// and a memory high-water mark fed by the copy-on-write memo's per-query
+// byte accounting (cbqt Stats.MemoStateBytes). A request that cannot be
+// admitted is shed immediately with a typed, retryable OVERLOADED error —
+// the server degrades by doing less work, never by queueing unboundedly.
+//
+// The nil *admission admits everything (admission control off).
+type admission struct {
+	slots     chan struct{} // capacity = max inflight
+	maxQueue  int64         // waiters allowed beyond the slots (0 = no queue)
+	queueWait time.Duration // max time in the queue
+	waiters   atomic.Int64
+
+	memHigh  int64        // high-water mark in bytes (0 = off)
+	memUsed  atomic.Int64 // estimate-bytes reserved by admitted requests
+	estimate atomic.Int64 // EWMA of observed per-query MemoStateBytes
+
+	inflightN atomic.Int64
+
+	inflight    *obsv.Gauge
+	queueDepth  *obsv.Gauge
+	admitted    *obsv.Counter
+	shed        *obsv.Counter
+	shedQueue   *obsv.Counter
+	shedWait    *obsv.Counter
+	shedMem     *obsv.Counter
+	queueWaitMS *obsv.Histogram
+	memEst      *obsv.Gauge
+	memReserved *obsv.Gauge
+}
+
+// newAdmission builds the gate from the server config; it returns nil (no
+// admission control) when MaxInflight <= 0.
+func newAdmission(cfg Config, reg *obsv.Registry) *admission {
+	if cfg.MaxInflight <= 0 {
+		return nil
+	}
+	wait := cfg.QueueWait
+	if wait <= 0 {
+		wait = DefaultQueueWait
+	}
+	return &admission{
+		slots:     make(chan struct{}, cfg.MaxInflight),
+		maxQueue:  int64(cfg.MaxQueue),
+		queueWait: wait,
+		memHigh:   cfg.MemHighWaterBytes,
+
+		inflight:    reg.Gauge(MetricInflight),
+		queueDepth:  reg.Gauge(MetricQueueDepth),
+		admitted:    reg.Counter(MetricAdmitted),
+		shed:        reg.Counter(MetricShed),
+		shedQueue:   reg.Counter(MetricShedQueue),
+		shedWait:    reg.Counter(MetricShedWait),
+		shedMem:     reg.Counter(MetricShedMem),
+		queueWaitMS: reg.Histogram(MetricQueueWaitMS, 1, 5, 10, 50, 100, 500, 1000, 5000),
+		memEst:      reg.Gauge(MetricMemEstimated),
+		memReserved: reg.Gauge(MetricMemReserved),
+	}
+}
+
+// acquire admits one optimize+execute span or sheds it. On success the
+// returned release func must be called exactly once when the span ends.
+// Shedding returns a typed *Error with CodeOverloaded; a request whose
+// deadline expires while queued returns the context error instead (the
+// client's budget, not the server's load, ended it).
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	est := a.estimate.Load()
+	// The mark gates *additional* reservations: a span starting on an
+	// otherwise-idle gate is always admitted, so a high estimate can shed
+	// concurrency but never wedge the server (the EWMA only moves when
+	// optimizations complete, which requires admitting some).
+	if a.memHigh > 0 && est > 0 && a.memUsed.Load() > 0 && a.memUsed.Load()+est > a.memHigh {
+		a.shedMem.Inc()
+		a.shed.Inc()
+		return nil, overloaded("optimizer memory pressure: %d reserved + %d estimated > %d high-water",
+			a.memUsed.Load(), est, a.memHigh)
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.queueWaitMS.Observe(0)
+		return a.admit(est), nil
+	default:
+	}
+	// All slots busy: join the bounded wait queue or shed.
+	if w := a.waiters.Add(1); a.maxQueue <= 0 || w > a.maxQueue {
+		a.queueDepth.Set(a.waiters.Add(-1))
+		a.shedQueue.Inc()
+		a.shed.Inc()
+		return nil, overloaded("%d inflight, wait queue full (%d)", cap(a.slots), a.maxQueue)
+	}
+	a.queueDepth.Set(a.waiters.Load())
+	start := time.Now()
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	defer func() { a.queueDepth.Set(a.waiters.Add(-1)) }()
+	select {
+	case a.slots <- struct{}{}:
+		a.queueWaitMS.Observe(float64(time.Since(start).Milliseconds()))
+		return a.admit(est), nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-timer.C:
+		a.shedWait.Inc()
+		a.shed.Inc()
+		return nil, overloaded("queue wait exceeded %s at %d inflight", a.queueWait, cap(a.slots))
+	}
+}
+
+// admit finalizes a granted slot, reserving the memory estimate.
+func (a *admission) admit(est int64) (release func()) {
+	a.admitted.Inc()
+	a.inflight.Set(a.inflightN.Add(1))
+	a.memReserved.Set(a.memUsed.Add(est))
+	return func() {
+		a.memReserved.Set(a.memUsed.Add(-est))
+		a.inflight.Set(a.inflightN.Add(-1))
+		<-a.slots
+	}
+}
+
+// observe feeds one completed optimization's memo byte count into the
+// per-query EWMA (new = 3/4 old + 1/4 sample). The estimate deliberately
+// lags: a single cheap query does not mask a run of expensive ones.
+func (a *admission) observe(memoStateBytes int64) {
+	if a == nil || memoStateBytes < 0 {
+		return
+	}
+	for {
+		old := a.estimate.Load()
+		next := memoStateBytes
+		if old > 0 {
+			next = (3*old + memoStateBytes) / 4
+		}
+		if a.estimate.CompareAndSwap(old, next) {
+			a.memEst.Set(next)
+			return
+		}
+	}
+}

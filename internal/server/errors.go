@@ -1,0 +1,105 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Error codes carried in Response.Code. A code classifies a failure well
+// enough for a client to decide whether retrying can help: OVERLOADED means
+// the server shed the request before doing any work (always safe to retry
+// after backing off); CONN_RESET means the transport failed before the
+// first byte of a response frame arrived (the request may never have been
+// processed — safe to retry read-only statements); everything else is a
+// definitive answer and retrying the same request will not change it.
+const (
+	// CodeOverloaded rejects a request shed by admission control: the
+	// inflight slots and the wait queue are full, the queue wait timed
+	// out, or estimated optimizer memory pressure crossed the high-water
+	// mark. Retryable.
+	CodeOverloaded = "OVERLOADED"
+	// CodeDraining rejects new statements during graceful shutdown.
+	CodeDraining = "DRAINING"
+	// CodeDeadline reports that the request's deadline expired (the
+	// client-supplied DeadlineMS on the wire, or the client's own
+	// per-call context). The deadline budget is spent: not retryable.
+	CodeDeadline = "DEADLINE"
+	// CodeCanceled reports that the session context was canceled (the
+	// peer vanished mid-request, or the server severed the connection).
+	CodeCanceled = "CANCELED"
+	// CodeConnReset is a client-side classification: the transport failed
+	// before any part of a response frame was read, so the request may
+	// not have been processed. Retryable for this protocol's read-only
+	// statements.
+	CodeConnReset = "CONN_RESET"
+	// CodeConnBroken is a client-side classification: the transport failed
+	// mid-frame (truncation) — the server may have processed the request,
+	// and the session's framing is unrecoverable. Not retryable through
+	// the same connection.
+	CodeConnBroken = "CONN_BROKEN"
+	// CodeError is every other statement failure (syntax error, unknown
+	// parameter, execution error): a definitive answer, never retried.
+	CodeError = "ERROR"
+)
+
+// Error is the typed wire error. Server-side failures cross the wire as
+// (Response.Code, Response.Error) and are rebuilt as *Error by the client;
+// client-side transport failures are wrapped into the same type, so every
+// failure a caller sees — shed, deadline, reset, truncation, statement
+// error — carries a code and a retryability decision.
+type Error struct {
+	Code string
+	Msg  string
+	// Err is the underlying cause for client-side transport errors
+	// (nil for errors rebuilt from a response frame).
+	Err error
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Msg) }
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Retryable reports whether a fresh attempt of the same request can
+// succeed: the server shed it before doing work, or the transport failed
+// before a response frame started.
+func (e *Error) Retryable() bool {
+	return e.Code == CodeOverloaded || e.Code == CodeConnReset
+}
+
+// IsRetryable reports whether err is a typed wire error worth retrying
+// (with backoff) — the client's retry loop and the chaos soak use it.
+func IsRetryable(err error) bool {
+	var we *Error
+	return errors.As(err, &we) && we.Retryable()
+}
+
+// ErrorCode extracts the wire code from err ("" for untyped errors).
+func ErrorCode(err error) string {
+	var we *Error
+	if errors.As(err, &we) {
+		return we.Code
+	}
+	return ""
+}
+
+// overloaded builds the typed shed error admission control returns.
+func overloaded(format string, args ...any) *Error {
+	return &Error{Code: CodeOverloaded, Msg: fmt.Sprintf(format, args...)}
+}
+
+// codeOf classifies a server-side dispatch error into its wire code.
+func codeOf(err error) string {
+	var we *Error
+	switch {
+	case errors.As(err, &we):
+		return we.Code
+	case errors.Is(err, ErrDraining):
+		return CodeDraining
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, context.Canceled):
+		return CodeCanceled
+	}
+	return CodeError
+}

@@ -48,6 +48,32 @@ type Config struct {
 	CacheOff bool
 	// CacheMaxEntries bounds the plan cache (<= 0: plancache default).
 	CacheMaxEntries int
+
+	// MaxInflight bounds concurrent optimize+execute spans across all
+	// sessions (<= 0: unlimited, admission control off). Requests beyond
+	// the bound wait in a bounded queue; requests beyond the queue are
+	// shed with a typed retryable OVERLOADED error.
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot (<= 0 with
+	// MaxInflight set: no queue, saturated requests shed immediately).
+	MaxQueue int
+	// QueueWait bounds how long a queued request waits before it is shed
+	// (<= 0: DefaultQueueWait).
+	QueueWait time.Duration
+	// MemHighWaterBytes sheds new optimize spans once the reserved
+	// per-query optimizer-memory estimate (an EWMA of cbqt
+	// Stats.MemoStateBytes across completed optimizations) would cross
+	// this mark (<= 0: off). Only meaningful with MaxInflight set.
+	MemHighWaterBytes int64
+	// IdleTimeout reaps sessions that send no frame for this long (<= 0:
+	// never). Heartbeat ping frames reset the timer, so a deliberately
+	// idle client can hold its session — and its cursors — alive, while a
+	// dead peer cannot pin a graceful drain.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write (<= 0: none). A peer that
+	// stops reading mid-fetch trips it and the session is severed instead
+	// of wedging the drain.
+	WriteTimeout time.Duration
 }
 
 // Server owns the listener, the shared plan cache and the session set.
@@ -56,6 +82,10 @@ type Server struct {
 	opts  cbqt.Options
 	reg   *obsv.Registry
 	cache *plancache.Cache // nil when the cache is off
+	adm   *admission       // nil when admission control is off
+
+	idleTimeout  time.Duration
+	writeTimeout time.Duration
 
 	// ddl serializes statistics/DDL writes (ANALYZE, CREATE INDEX) against
 	// query optimization and execution: readers hold RLock for the
@@ -77,6 +107,10 @@ type Server struct {
 	fetches        *obsv.Counter
 	rowsSent       *obsv.Counter
 	errorsCtr      *obsv.Counter
+	deadlinesCtr   *obsv.Counter
+	idleReaped     *obsv.Counter
+	writeTimeouts  *obsv.Counter
+	pings          *obsv.Counter
 }
 
 // New creates a server over the given database.
@@ -88,11 +122,14 @@ func New(cfg Config) *Server {
 	opts := cfg.Opts
 	opts.Metrics = reg
 	s := &Server{
-		db:       cfg.DB,
-		opts:     opts,
-		reg:      reg,
-		sessions: map[int64]*session{},
-		done:     make(chan struct{}),
+		db:           cfg.DB,
+		opts:         opts,
+		reg:          reg,
+		adm:          newAdmission(cfg, reg),
+		idleTimeout:  cfg.IdleTimeout,
+		writeTimeout: cfg.WriteTimeout,
+		sessions:     map[int64]*session{},
+		done:         make(chan struct{}),
 
 		sessionsOpened: reg.Counter(MetricSessionsOpened),
 		sessionsClosed: reg.Counter(MetricSessionsClosed),
@@ -101,6 +138,10 @@ func New(cfg Config) *Server {
 		fetches:        reg.Counter(MetricFetches),
 		rowsSent:       reg.Counter(MetricRowsSent),
 		errorsCtr:      reg.Counter(MetricErrors),
+		deadlinesCtr:   reg.Counter(MetricDeadlineExceeded),
+		idleReaped:     reg.Counter(MetricIdleReaped),
+		writeTimeouts:  reg.Counter(MetricWriteTimeouts),
+		pings:          reg.Counter(MetricPings),
 	}
 	if !cfg.CacheOff {
 		s.cache = plancache.New(cfg.CacheMaxEntries, reg)

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"os"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cbqt"
 	"repro/internal/datum"
@@ -40,8 +42,12 @@ type stmt struct {
 	open   bool
 }
 
-// session serves one connection. All verbs run on the session's goroutine;
-// only Shutdown touches the connection from outside (to sever it).
+// session serves one connection. Frames are read by a dedicated reader
+// goroutine (readLoop) so a peer that vanishes mid-request cancels the
+// session context — and with it the in-flight optimize/execute — instead
+// of burning optimizer states for a closed socket. Dispatch and response
+// writes stay on the session goroutine; only Shutdown touches the
+// connection from outside (to sever it).
 type session struct {
 	srv  *Server
 	id   int64
@@ -51,6 +57,9 @@ type session struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+	// done is closed when the dispatch loop exits, releasing a readLoop
+	// blocked on delivering a frame.
+	done chan struct{}
 
 	opts     cbqt.Options
 	strategy string // plan-cache strategy fingerprint
@@ -63,6 +72,8 @@ type session struct {
 	cacheHits atomic.Int64
 	fetches   atomic.Int64
 	rowsSent  atomic.Int64
+	shed      atomic.Int64
+	deadlines atomic.Int64
 }
 
 func newSession(s *Server, id int64, conn net.Conn) *session {
@@ -75,41 +86,120 @@ func newSession(s *Server, id int64, conn net.Conn) *session {
 		w:        bufio.NewWriter(conn),
 		ctx:      ctx,
 		cancel:   cancel,
+		done:     make(chan struct{}),
 		opts:     s.opts,
 		strategy: strategyFingerprint(s.opts),
 		stmts:    map[int64]*stmt{},
 	}
 }
 
+// frameMsg is one reader-goroutine delivery: a request or a terminal read
+// error, never both.
+type frameMsg struct {
+	req Request
+	err error
+}
+
 // run is the session's request loop: one frame in, one frame out, until
-// the peer closes, sends the close verb, or a wire error occurs.
+// the peer closes, sends the close verb, a wire error occurs, or the idle
+// timeout reaps the session.
 func (ss *session) run() {
 	defer func() {
 		ss.cancel()
+		close(ss.done)
 		ss.conn.Close()
 		ss.srv.unregister(ss.id)
 	}()
+	frames := make(chan frameMsg)
+	go ss.readLoop(frames)
+
+	var idleC <-chan time.Time
+	var idle *time.Timer
+	if d := ss.srv.idleTimeout; d > 0 {
+		idle = time.NewTimer(d)
+		defer idle.Stop()
+		idleC = idle.C
+	}
 	for {
-		var req Request
-		if err := ReadFrame(ss.r, &req); err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		var fm frameMsg
+		select {
+		case fm = <-frames:
+		case <-idleC:
+			// The peer sent nothing — not even a heartbeat — for the
+			// whole idle window: reap the session so a dead client
+			// cannot pin cursors through a graceful drain.
+			ss.srv.idleReaped.Inc()
+			return
+		}
+		if fm.err != nil {
+			if !errors.Is(fm.err, io.EOF) && !errors.Is(fm.err, net.ErrClosed) {
 				ss.srv.errorsCtr.Inc()
 			}
 			return
 		}
-		resp := ss.dispatch(&req)
-		if err := WriteFrame(ss.w, resp); err != nil {
+		resp := ss.dispatch(&fm.req)
+		if err := ss.writeResponse(resp); err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				ss.srv.writeTimeouts.Inc()
+			}
 			ss.srv.errorsCtr.Inc()
 			return
 		}
-		if err := ss.w.Flush(); err != nil {
-			ss.srv.errorsCtr.Inc()
+		if fm.req.Verb == VerbClose {
 			return
 		}
-		if req.Verb == VerbClose {
+		if idle != nil {
+			if !idle.Stop() {
+				select {
+				case <-idle.C:
+				default:
+				}
+			}
+			idle.Reset(ss.srv.idleTimeout)
+		}
+	}
+}
+
+// readLoop owns the connection's read side. A read error — the peer reset,
+// vanished, or sent garbage — cancels the session context first, so any
+// optimize or execute in flight on the dispatch goroutine stops at its
+// next cancellation poll, then delivers the error to the dispatch loop.
+func (ss *session) readLoop(frames chan<- frameMsg) {
+	for {
+		var req Request
+		if err := ReadFrame(ss.r, &req); err != nil {
+			ss.cancel()
+			select {
+			case frames <- frameMsg{err: err}:
+			case <-ss.done:
+			}
+			return
+		}
+		select {
+		case frames <- frameMsg{req: req}:
+		case <-ss.done:
 			return
 		}
 	}
+}
+
+// writeResponse sends one frame under the server's write deadline, so a
+// peer that stops reading severs its own session instead of blocking the
+// writer (and a graceful drain behind it) forever.
+func (ss *session) writeResponse(resp *Response) error {
+	if d := ss.srv.writeTimeout; d > 0 {
+		ss.conn.SetWriteDeadline(time.Now().Add(d))
+	}
+	if err := WriteFrame(ss.w, resp); err != nil {
+		return err
+	}
+	if err := ss.w.Flush(); err != nil {
+		return err
+	}
+	if ss.srv.writeTimeout > 0 {
+		ss.conn.SetWriteDeadline(time.Time{})
+	}
+	return nil
 }
 
 func (ss *session) dispatch(req *Request) *Response {
@@ -132,14 +222,33 @@ func (ss *session) dispatch(req *Request) *Response {
 		resp, err = ss.analyze(req)
 	case VerbMetrics:
 		resp, err = ss.metrics(req)
+	case VerbPing:
+		ss.srv.pings.Inc()
+		resp = &Response{}
 	case VerbClose:
-		resp = &Response{OK: true}
+		resp = &Response{}
 	default:
 		err = fmt.Errorf("server: unknown verb %q", req.Verb)
 	}
 	if err != nil {
 		ss.srv.errorsCtr.Inc()
-		return &Response{Error: err.Error()}
+		code := codeOf(err)
+		switch code {
+		case CodeOverloaded:
+			ss.shed.Add(1)
+		case CodeDeadline:
+			ss.deadlines.Add(1)
+			ss.srv.deadlinesCtr.Inc()
+		}
+		// A typed error's text would double its code ("OVERLOADED:
+		// OVERLOADED: ...") once the client re-wraps the frame; send the
+		// bare message.
+		msg := err.Error()
+		var we *Error
+		if errors.As(err, &we) {
+			msg = we.Msg
+		}
+		return &Response{Error: msg, Code: code}
 	}
 	resp.OK = true
 	return resp
@@ -273,7 +382,25 @@ func (ss *session) execute(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("server: unbound parameters %s", strings.Join(missing, ", "))
 	}
 
-	cp, cached, err := ss.plan(st)
+	// The client-supplied deadline bounds the whole optimize+execute span:
+	// it rides into the optimizer's budget tracker (which degrades the
+	// search when it nears) and the executor's cancellation polling.
+	ctx := ss.ctx
+	if req.DeadlineMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.DeadlineMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	// Admission control gates the expensive span. Shed requests cost the
+	// server nothing but this typed response.
+	release, err := ss.srv.adm.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+
+	cp, cached, err := ss.plan(ctx, st)
 	if err != nil {
 		return nil, err
 	}
@@ -282,7 +409,7 @@ func (ss *session) execute(req *Request) (*Response, error) {
 	}
 
 	ss.srv.ddl.RLock()
-	res, err := exec.RunParams(ss.ctx, ss.srv.db, cp.plan, st.binds)
+	res, err := exec.RunParams(ctx, ss.srv.db, cp.plan, st.binds)
 	ss.srv.ddl.RUnlock()
 	if err != nil {
 		return nil, err
@@ -311,7 +438,7 @@ func (ss *session) execute(req *Request) (*Response, error) {
 // (or optimizes directly when the cache is off). The catalog version is
 // read under the DDL read lock so a concurrent ANALYZE can't slip between
 // versioning the key and optimizing against the new statistics.
-func (ss *session) plan(st *stmt) (*cachedPlan, bool, error) {
+func (ss *session) plan(ctx context.Context, st *stmt) (*cachedPlan, bool, error) {
 	ss.srv.ddl.RLock()
 	defer ss.srv.ddl.RUnlock()
 	key := plancache.Key{
@@ -320,11 +447,14 @@ func (ss *session) plan(st *stmt) (*cachedPlan, bool, error) {
 		Version:  ss.srv.db.Catalog.Version(),
 	}
 	if ss.srv.cache == nil {
-		cp, err := ss.optimize(st.sql)
+		cp, err := ss.optimize(ctx, st.sql)
 		return cp, false, err
 	}
+	// Coalesced waiters share the computing caller's context: if that
+	// caller's deadline degrades or fails the optimization, the error is
+	// returned to every waiter and nothing is cached.
 	v, shared, err := ss.srv.cache.GetOrCompute(key, func() (any, error) {
-		return ss.optimize(st.sql)
+		return ss.optimize(ctx, st.sql)
 	})
 	if err != nil {
 		return nil, false, err
@@ -337,16 +467,24 @@ func (ss *session) plan(st *stmt) (*cachedPlan, bool, error) {
 }
 
 // optimize runs the full parse → bind → CBQT pipeline for one statement.
-func (ss *session) optimize(sql string) (*cachedPlan, error) {
+// A request whose deadline expires mid-search fails here with the context
+// error rather than returning the degraded plan: the query could not make
+// its deadline anyway, and a plan degraded by one caller's deadline must
+// never be cached for everyone else.
+func (ss *session) optimize(ctx context.Context, sql string) (*cachedPlan, error) {
 	q, err := qtree.BindSQL(sql, ss.srv.db.Catalog)
 	if err != nil {
 		return nil, err
 	}
 	o := &cbqt.Optimizer{Cat: ss.srv.db.Catalog, Opts: ss.opts}
-	res, err := o.OptimizeContext(ss.ctx, q)
+	res, err := o.OptimizeContext(ctx, q)
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ss.srv.adm.observe(res.Stats.MemoStateBytes)
 	return &cachedPlan{plan: res.Plan, params: res.Query.Params, sql: res.Query.SQL()}, nil
 }
 
@@ -427,5 +565,7 @@ func (ss *session) stats() *SessionStats {
 		CacheHits: ss.cacheHits.Load(),
 		Fetches:   ss.fetches.Load(),
 		RowsSent:  ss.rowsSent.Load(),
+		Shed:      ss.shed.Load(),
+		Deadlines: ss.deadlines.Load(),
 	}
 }

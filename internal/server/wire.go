@@ -33,6 +33,7 @@ const (
 	VerbCloseStmt = "close_stmt" // drop a prepared statement and its cursor
 	VerbAnalyze   = "analyze"    // re-ANALYZE a table (or all), bumping the stats version
 	VerbMetrics   = "metrics"    // snapshot the server registry + session counters
+	VerbPing      = "ping"       // heartbeat: resets the idle timer, answered immediately
 	VerbClose     = "close"      // end the session
 )
 
@@ -54,6 +55,12 @@ type Request struct {
 	Table string `json:"table,omitempty"`
 	// Options sets per-session optimizer options (hello only).
 	Options *SessionOptions `json:"options,omitempty"`
+	// DeadlineMS is the request's remaining time budget in milliseconds
+	// (execute only; 0 = none). The deadline rides into the optimizer's
+	// budget tracker (degrading the search) and the executor's context
+	// (aborting the run), so a query that can no longer make its deadline
+	// stops burning optimizer states and returns a typed DEADLINE error.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // SessionOptions selects the optimizer configuration for one session.
@@ -83,6 +90,9 @@ type BindValue struct {
 type Response struct {
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
+	// Code classifies a failed request (see the Code* constants): clients
+	// retry OVERLOADED after backoff and treat everything else as final.
+	Code string `json:"code,omitempty"`
 	// Stmt echoes (or assigns, on prepare) the statement id.
 	Stmt int64 `json:"stmt,omitempty"`
 	// Params lists the statement's parameter names in ordinal order.
@@ -112,6 +122,10 @@ type SessionStats struct {
 	CacheHits int64 `json:"cache_hits"`
 	Fetches   int64 `json:"fetches"`
 	RowsSent  int64 `json:"rows_sent"`
+	// Shed counts this session's requests rejected by admission control;
+	// Deadlines counts its requests failed by an expired deadline.
+	Shed      int64 `json:"shed,omitempty"`
+	Deadlines int64 `json:"deadlines,omitempty"`
 }
 
 // WireDatum is the JSON encoding of one SQL value. Kind selects the value
