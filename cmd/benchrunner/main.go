@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par|memo|server|overload [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
+//	benchrunner -exp all|fig2|fig3|fig4|gbp|table1|table2|par|vec|memo|server|overload [-n 12] [-repeats 3] [-seed 1] [-small] [-parallel 0]
 package main
 
 import (
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, memo, server, overload")
+	exp := flag.String("exp", "all", "experiment: all, fig2, fig3, fig4, gbp, table1, table2, par, vec, memo, server, overload")
 	n := flag.Int("n", 12, "queries per workload class")
 	serverOps := flag.Int("server-ops", 64, "executes per session in the server experiment")
 	maxInflight := flag.Int("max-inflight", 4, "admission slots in the overload experiment")
@@ -138,6 +138,14 @@ func main() {
 			return err
 		}
 		fmt.Println(bench.FormatParallelSearch(rows))
+		return nil
+	})
+	run("vec", func() error {
+		rows, err := bench.Vec(ctx, db, *repeats)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bench.FormatVec(rows))
 		return nil
 	})
 	run("memo", func() error {

@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cbqt"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// The vec experiment measures the vectorized batch engine against the
+// row-at-a-time engine on the same optimized plans: scan+filter,
+// scan+filter+join and join+aggregate shapes, plus a Table-2-family query
+// whose EXISTS subqueries cost-based unnesting turns into joins. Both
+// engines execute the identical plan, so the delta is purely the execution
+// model (batch fill, selection-vector filtering, vectorized probe loops).
+
+// VecQuery is one query of the vec experiment.
+type VecQuery struct {
+	Name string
+	SQL  string
+}
+
+// VecQueries returns the experiment's query set.
+func VecQueries() []VecQuery {
+	return []VecQuery{
+		{"scan-filter", `SELECT e.emp_id, e.salary FROM employees e
+		 WHERE e.salary > 2000 AND e.salary + 500 < 90000`},
+		{"scan-filter-join", `SELECT e.employee_name, d.department_name FROM employees e, departments d
+		 WHERE e.dept_id = d.dept_id AND e.salary > 2000`},
+		{"join-agg", `SELECT d.department_name, COUNT(*), AVG(e.salary) FROM employees e, departments d
+		 WHERE e.dept_id = d.dept_id GROUP BY d.department_name`},
+		{"table2-family", Table2FamilyQuery(2)},
+	}
+}
+
+// VecRow is the measured outcome of one vec query.
+type VecRow struct {
+	Name    string
+	Rows    int   // result rows (identical under both engines by construction)
+	Scanned int64 // logical rows produced by the plan's leaf scans
+	RowTime time.Duration
+	VecTime time.Duration
+	// RowRate and VecRate are scanned rows per second under each engine.
+	RowRate, VecRate float64
+	// Speedup is RowTime / VecTime.
+	Speedup float64
+}
+
+// Vec runs the vectorized-execution experiment: each query is optimized
+// once with CBQT, then the one plan is executed repeatedly under both
+// engines (best-of-repeats) and compared on scanned rows per second.
+func Vec(ctx context.Context, db *storage.DB, repeats int) ([]VecRow, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	opts := defaultOptions()
+	var out []VecRow
+	for _, vq := range VecQueries() {
+		q, err := qtree.BindSQL(vq.SQL, db.Catalog)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bind: %w", vq.Name, err)
+		}
+		o := &cbqt.Optimizer{Cat: db.Catalog, Opts: opts}
+		res, err := o.OptimizeContext(ctx, q)
+		if err != nil {
+			return nil, fmt.Errorf("%s: optimize: %w", vq.Name, err)
+		}
+		plan := res.Plan
+
+		// Scanned rows: a fixed per-query workload constant, read off one
+		// instrumented batch run so both engines share the numerator.
+		_, rs, err := exec.RunAnalyzeWith(ctx, db, plan, exec.Options{Metrics: Metrics})
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyze: %w", vq.Name, err)
+		}
+		var scanned int64
+		for n, st := range rs.Ops {
+			switch n.(type) {
+			case *optimizer.SeqScan, *optimizer.IndexScan:
+				scanned += st.Rows
+			}
+		}
+
+		row := VecRow{Name: vq.Name, Scanned: scanned}
+		measure := func(o exec.Options) (time.Duration, int, error) {
+			best := time.Duration(0)
+			rows := 0
+			for i := 0; i < repeats; i++ {
+				start := time.Now()
+				r, err := exec.RunWith(ctx, db, plan, o)
+				d := time.Since(start)
+				if err != nil {
+					return 0, 0, err
+				}
+				if i == 0 || d < best {
+					best = d
+				}
+				rows = len(r.Rows)
+			}
+			return best, rows, nil
+		}
+		var rowRows, vecRows int
+		if row.RowTime, rowRows, err = measure(exec.Options{RowExec: true}); err != nil {
+			return nil, fmt.Errorf("%s: row engine: %w", vq.Name, err)
+		}
+		if row.VecTime, vecRows, err = measure(exec.Options{Metrics: Metrics}); err != nil {
+			return nil, fmt.Errorf("%s: batch engine: %w", vq.Name, err)
+		}
+		if rowRows != vecRows {
+			return nil, fmt.Errorf("%s: engines disagree on the result (%d rows vs %d)", vq.Name, rowRows, vecRows)
+		}
+		row.Rows = rowRows
+		if s := row.RowTime.Seconds(); s > 0 {
+			row.RowRate = float64(scanned) / s
+		}
+		if s := row.VecTime.Seconds(); s > 0 {
+			row.VecRate = float64(scanned) / s
+			row.Speedup = row.RowTime.Seconds() / s
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatVec renders the vec experiment as a table.
+func FormatVec(rows []VecRow) string {
+	var sb strings.Builder
+	sb.WriteString("=== Vec: batch engine vs row engine (same plans) ===\n")
+	fmt.Fprintf(&sb, "%-18s %9s %10s %11s %11s %13s %13s %8s\n",
+		"Query", "Rows", "Scanned", "Row time", "Vec time", "Row rows/s", "Vec rows/s", "Speedup")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %9d %10d %11s %11s %13.0f %13.0f %7.2fx\n",
+			r.Name, r.Rows, r.Scanned,
+			r.RowTime.Round(10*time.Microsecond), r.VecTime.Round(10*time.Microsecond),
+			r.RowRate, r.VecRate, r.Speedup)
+	}
+	return sb.String()
+}

@@ -266,7 +266,17 @@ func checkRowInvariants(t *testing.T, root optimizer.PlanNode, rs *exec.RunStats
 			// to check.
 			return
 		}
-		if st.Rows > 0 && st.Nexts < st.Rows {
+		if st.Batches > 0 {
+			// Vectorized operator: Nexts counts NextBatch calls, so the
+			// per-row Next bound does not apply; each counted batch is
+			// non-empty and every batch comes from one NextBatch call.
+			if st.Rows < st.Batches {
+				t.Errorf("%s: %d rows over %d batches (empty batches leaked)", n.Label(), st.Rows, st.Batches)
+			}
+			if st.Nexts < st.Batches {
+				t.Errorf("%s: %d batches from only %d NextBatch calls", n.Label(), st.Batches, st.Nexts)
+			}
+		} else if st.Rows > 0 && st.Nexts < st.Rows {
 			t.Errorf("%s: %d rows from only %d Next calls", n.Label(), st.Rows, st.Nexts)
 		}
 		out := st.Rows

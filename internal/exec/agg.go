@@ -115,6 +115,94 @@ type aggGroup struct {
 	states []*aggState
 }
 
+// aggHash is the grouping-set hash-aggregation core shared by the row and
+// batch engines: update folds one input row's grouping values and aggregate
+// arguments into every grouping set, results assembles the output rows in
+// group insertion order (with the scalar-aggregation-over-empty-input row).
+// Keeping both engines on one core means their aggregation semantics cannot
+// drift.
+type aggHash struct {
+	n    *optimizer.Agg
+	sets [][]int
+	// groups[setIdx][key] -> group
+	groups []map[string]*aggGroup
+	order  [][]string
+}
+
+func newAggHash(n *optimizer.Agg) *aggHash {
+	sets := n.GroupingSets
+	if sets == nil {
+		full := make([]int, len(n.GroupBy))
+		for i := range full {
+			full[i] = i
+		}
+		sets = [][]int{full}
+	}
+	h := &aggHash{
+		n:      n,
+		sets:   sets,
+		groups: make([]map[string]*aggGroup, len(sets)),
+		order:  make([][]string, len(sets)),
+	}
+	for i := range h.groups {
+		h.groups[i] = map[string]*aggGroup{}
+	}
+	return h
+}
+
+func (h *aggHash) update(gbVals, argVals Row) error {
+	for si, set := range h.sets {
+		masked := make(Row, len(h.n.GroupBy))
+		for i := range masked {
+			masked[i] = datum.Null
+		}
+		for _, gi := range set {
+			masked[gi] = gbVals[gi]
+		}
+		key := rowKey(masked)
+		g, ok := h.groups[si][key]
+		if !ok {
+			g = &aggGroup{gbVals: masked}
+			for _, spec := range h.n.Aggs {
+				g.states = append(g.states, newAggState(spec))
+			}
+			h.groups[si][key] = g
+			h.order[si] = append(h.order[si], key)
+		}
+		for i := range h.n.Aggs {
+			if err := g.states[i].add(argVals[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (h *aggHash) results() []Row {
+	// Scalar aggregation over empty input produces one row.
+	if len(h.n.GroupBy) == 0 && len(h.groups[0]) == 0 {
+		g := &aggGroup{gbVals: Row{}}
+		for _, spec := range h.n.Aggs {
+			g.states = append(g.states, newAggState(spec))
+		}
+		h.groups[0][""] = g
+		h.order[0] = append(h.order[0], "")
+	}
+	var out []Row
+	for si := range h.groups {
+		for _, key := range h.order[si] {
+			g := h.groups[si][key]
+			row := make(Row, 0, len(g.gbVals)+len(g.states))
+			row = append(row, g.gbVals...)
+			for _, s := range g.states {
+				row = append(row, s.result())
+			}
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
 func (it *aggIter) Open(outer *Ctx) error {
 	if err := it.child.Open(outer); err != nil {
 		return err
@@ -122,21 +210,7 @@ func (it *aggIter) Open(outer *Ctx) error {
 	it.out = nil
 	it.pos = 0
 	ctx := &Ctx{parent: outer, cols: colMap(it.n.Child.Columns())}
-
-	sets := it.n.GroupingSets
-	if sets == nil {
-		full := make([]int, len(it.n.GroupBy))
-		for i := range full {
-			full[i] = i
-		}
-		sets = [][]int{full}
-	}
-	// groups[setIdx][key] -> group
-	groups := make([]map[string]*aggGroup, len(sets))
-	order := make([][]string, len(sets))
-	for i := range groups {
-		groups[i] = map[string]*aggGroup{}
-	}
+	h := newAggHash(it.n)
 
 	for {
 		r, err := it.child.Next()
@@ -168,53 +242,11 @@ func (it *aggIter) Open(outer *Ctx) error {
 			}
 			argVals[i] = d
 		}
-		for si, set := range sets {
-			masked := make(Row, len(it.n.GroupBy))
-			for i := range masked {
-				masked[i] = datum.Null
-			}
-			for _, gi := range set {
-				masked[gi] = gbVals[gi]
-			}
-			key := rowKey(masked)
-			g, ok := groups[si][key]
-			if !ok {
-				g = &aggGroup{gbVals: masked}
-				for _, spec := range it.n.Aggs {
-					g.states = append(g.states, newAggState(spec))
-				}
-				groups[si][key] = g
-				order[si] = append(order[si], key)
-			}
-			for i := range it.n.Aggs {
-				if err := g.states[i].add(argVals[i]); err != nil {
-					return err
-				}
-			}
+		if err := h.update(gbVals, argVals); err != nil {
+			return err
 		}
 	}
-
-	// Scalar aggregation over empty input produces one row.
-	if len(it.n.GroupBy) == 0 && len(groups[0]) == 0 {
-		g := &aggGroup{gbVals: Row{}}
-		for _, spec := range it.n.Aggs {
-			g.states = append(g.states, newAggState(spec))
-		}
-		groups[0][""] = g
-		order[0] = append(order[0], "")
-	}
-
-	for si := range groups {
-		for _, key := range order[si] {
-			g := groups[si][key]
-			row := make(Row, 0, len(g.gbVals)+len(g.states))
-			row = append(row, g.gbVals...)
-			for _, s := range g.states {
-				row = append(row, s.result())
-			}
-			it.out = append(it.out, row)
-		}
-	}
+	it.out = h.results()
 	return nil
 }
 

@@ -17,10 +17,17 @@ type OpStats struct {
 	// Opens counts Open calls; above 1 means the operator was re-opened
 	// per outer row (lateral or subquery re-execution).
 	Opens int64
-	// Nexts counts Next calls, including the final end-of-input call.
+	// Nexts counts Next calls, including the final end-of-input call. On
+	// the batch engine a vectorized operator's Nexts counts NextBatch calls,
+	// so Nexts < Rows is normal there (see Batches).
 	Nexts int64
-	// Rows counts rows returned.
+	// Rows counts logical rows returned: the batch engine adds each batch's
+	// selected row count, so Rows is engine-independent and comparable
+	// between a batched and a row-at-a-time run of the same plan.
 	Rows int64
+	// Batches counts batches returned by a vectorized operator; 0 for
+	// operators running row-at-a-time.
+	Batches int64
 	// Time is cumulative wall time inside Open and Next, inclusive of
 	// children.
 	Time time.Duration
@@ -86,6 +93,49 @@ func (it *instrIter) sampleMem() {
 	}
 }
 
+// instrBatchIter is instrIter for vectorized operators: Nexts counts
+// NextBatch calls, Rows counts the logical (selected) rows each batch
+// carries, and Batches counts non-empty batches, so logical row accounting
+// stays identical to the row engine's.
+type instrBatchIter struct {
+	child batchIterator
+	st    *OpStats
+}
+
+func (it *instrBatchIter) Open(outer *Ctx) error {
+	start := time.Now()
+	err := it.child.Open(outer)
+	it.st.Time += time.Since(start)
+	it.st.Opens++
+	it.sampleMem()
+	return err
+}
+
+func (it *instrBatchIter) NextBatch() (*Batch, error) {
+	start := time.Now()
+	b, err := it.child.NextBatch()
+	it.st.Time += time.Since(start)
+	it.st.Nexts++
+	if err == nil && b != nil {
+		it.st.Batches++
+		it.st.Rows += int64(b.Rows())
+	}
+	return b, err
+}
+
+func (it *instrBatchIter) Close() error {
+	it.sampleMem()
+	return it.child.Close()
+}
+
+func (it *instrBatchIter) sampleMem() {
+	if m, ok := it.child.(memReporter); ok {
+		if b := m.memBytes(); b > it.st.MemPeakBytes {
+			it.st.MemPeakBytes = b
+		}
+	}
+}
+
 // rowBytes approximates the heap footprint of one row: slice header plus
 // per-datum storage.
 func rowBytes(r Row) int64 { return 48 + 16*int64(len(r)) }
@@ -102,7 +152,15 @@ func rowsBytes(rows []Row) int64 {
 // RunAnalyze executes the plan like RunContext while collecting per-operator
 // runtime counters; render them with ExplainAnalyze.
 func RunAnalyze(ctx context.Context, db *storage.DB, plan *optimizer.Plan) (*Result, *RunStats, error) {
+	return RunAnalyzeWith(ctx, db, plan, Options{})
+}
+
+// RunAnalyzeWith is RunAnalyze with explicit engine options; the row counts
+// it collects are logical rows on either engine, so a batched and a RowExec
+// run of the same plan report identical per-operator Rows.
+func RunAnalyzeWith(ctx context.Context, db *storage.DB, plan *optimizer.Plan, opts Options) (*Result, *RunStats, error) {
 	e := newEnv(ctx, db, plan)
+	e.applyOptions(opts)
 	e.analyze = &RunStats{Ops: map[optimizer.PlanNode]*OpStats{}}
 	res, err := runEnv(e)
 	return res, e.analyze, err
@@ -118,6 +176,9 @@ func ExplainAnalyze(p *optimizer.Plan, rs *RunStats, withTime bool) string {
 			return "  (actual: not executed)"
 		}
 		s := fmt.Sprintf("  (actual rows=%d nexts=%d opens=%d", st.Rows, st.Nexts, st.Opens)
+		if st.Batches > 0 {
+			s += fmt.Sprintf(" batches=%d", st.Batches)
+		}
 		if st.MemPeakBytes > 0 {
 			s += fmt.Sprintf(" mem=%s", fmtBytes(st.MemPeakBytes))
 		}

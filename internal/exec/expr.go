@@ -176,6 +176,13 @@ func (e *env) evalBin(v *qtree.Bin, ctx *Ctx) (datum.Datum, error) {
 	if err != nil {
 		return datum.Null, err
 	}
+	return applyBin(v, l, r)
+}
+
+// applyBin is the scalar kernel of every non-logical binary operator; the
+// row engine applies it per row and the batch engine per vector element,
+// so the two paths cannot drift.
+func applyBin(v *qtree.Bin, l, r datum.Datum) (datum.Datum, error) {
 	switch v.Op {
 	case qtree.OpAdd:
 		return datum.Add(l, r)

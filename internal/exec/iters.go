@@ -82,48 +82,56 @@ func (it *indexScanIter) Open(outer *Ctx) error {
 	it.outer = outer
 	it.pos = 0
 	it.self = &Ctx{parent: outer, cols: colMap(it.n.Columns())}
-	idx := it.tbl.Index(it.n.Index.Name)
-	if idx == nil {
-		return fmt.Errorf("exec: index %s not built", it.n.Index.Name)
+	match, err := indexMatches(it.e, it.n, it.tbl, outer)
+	if err != nil {
+		return err
 	}
-	if len(it.n.EqKeys) > 0 {
-		key := make([]datum.Datum, len(it.n.EqKeys))
-		for i, ke := range it.n.EqKeys {
-			d, err := it.e.evalExpr(ke, outer)
+	it.match = match
+	return nil
+}
+
+// indexMatches evaluates the probe/range bounds against the outer context
+// and returns the matching rowids; shared by the row and batch index scans.
+// A null bound never matches anything.
+func indexMatches(e *env, n *optimizer.IndexScan, tbl *storage.Table, outer *Ctx) ([]int32, error) {
+	idx := tbl.Index(n.Index.Name)
+	if idx == nil {
+		return nil, fmt.Errorf("exec: index %s not built", n.Index.Name)
+	}
+	if len(n.EqKeys) > 0 {
+		key := make([]datum.Datum, len(n.EqKeys))
+		for i, ke := range n.EqKeys {
+			d, err := e.evalExpr(ke, outer)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			key[i] = d
 		}
-		it.match = idx.EqualRange(key)
-		return nil
+		return idx.EqualRange(key), nil
 	}
 	var lo, hi datum.Datum
 	hasLo, hasHi := false, false
-	if it.n.Lo != nil {
-		d, err := it.e.evalExpr(it.n.Lo, outer)
+	if n.Lo != nil {
+		d, err := e.evalExpr(n.Lo, outer)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		lo, hasLo = d, !d.IsNull()
 		if d.IsNull() {
-			it.match = nil
-			return nil
+			return nil, nil
 		}
+		lo, hasLo = d, true
 	}
-	if it.n.Hi != nil {
-		d, err := it.e.evalExpr(it.n.Hi, outer)
+	if n.Hi != nil {
+		d, err := e.evalExpr(n.Hi, outer)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		hi, hasHi = d, !d.IsNull()
 		if d.IsNull() {
-			it.match = nil
-			return nil
+			return nil, nil
 		}
+		hi, hasHi = d, true
 	}
-	it.match = idx.Range(lo, it.n.LoInc, hasLo, hi, it.n.HiInc, hasHi)
-	return nil
+	return idx.Range(lo, n.LoInc, hasLo, hi, n.HiInc, hasHi), nil
 }
 
 func (it *indexScanIter) Next() (Row, error) {

@@ -44,11 +44,27 @@ func (e *env) subqRuntime(s *qtree.Subq) (*subqRuntime, error) {
 	if !ok {
 		return nil, fmt.Errorf("exec: no subplan compiled for %s subquery", s.Kind)
 	}
-	it, err := build(e, sp.Root)
-	if err != nil {
-		return nil, err
+	corrCols := outerColIDs(s.Block)
+	// Uncorrelated subplans execute exactly once and are materialized, so
+	// they benefit from the batch engine; the RowIter adapter feeds the
+	// materialization row-wise. Correlated subplans are re-opened per outer
+	// row over usually-small inputs, where per-open batch buffering would
+	// cost more than it saves — they stay on the row engine.
+	var it iterator
+	if len(corrCols) == 0 && !e.opts.RowExec {
+		bit, err := buildBatch(e, sp.Root)
+		if err != nil {
+			return nil, err
+		}
+		it = NewRowIter(bit)
+	} else {
+		rit, err := build(e, sp.Root)
+		if err != nil {
+			return nil, err
+		}
+		it = rit
 	}
-	rt := &subqRuntime{iter: it, corrCols: outerColIDs(s.Block)}
+	rt := &subqRuntime{iter: it, corrCols: corrCols}
 	rt.uncorrelated = len(rt.corrCols) == 0
 	e.subqIters[s] = rt
 	return rt, nil

@@ -1,0 +1,411 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/storage"
+)
+
+// This file holds the vectorized counterparts of the row operators in
+// iters.go. Each operator produces column-oriented batches (batch.go) and
+// evaluates its expressions with the batched evaluator (exprvec.go);
+// predicates refine the batch's selection vector instead of copying
+// columns. The NextBatch contract: nil at end of input, never an empty
+// batch, and the returned batch is valid only until the next call.
+
+// batchSeqScanIter scans a heap table batch-wise: it fills column vectors
+// straight from storage (appending the rowid column) and refines the
+// selection vector with the scan filter.
+type batchSeqScanIter struct {
+	e     *env
+	n     *optimizer.SeqScan
+	tbl   *storage.Table
+	pos   int
+	width int
+	bc    *batchCtx
+	b     Batch
+}
+
+func newBatchSeqScan(e *env, n *optimizer.SeqScan) *batchSeqScanIter {
+	return &batchSeqScanIter{e: e, n: n, tbl: e.db.Table(n.Table.Name)}
+}
+
+func (it *batchSeqScanIter) Open(outer *Ctx) error {
+	if it.tbl == nil {
+		return fmt.Errorf("exec: table %s has no storage", it.n.Table.Name)
+	}
+	it.pos = 0
+	it.width = len(it.n.Columns())
+	it.bc = newBatchCtx(it.e, it.n.Columns(), outer)
+	return nil
+}
+
+func (it *batchSeqScanIter) NextBatch() (*Batch, error) {
+	for {
+		if err := it.e.checkCancelBatch(); err != nil {
+			return nil, err
+		}
+		if it.pos >= len(it.tbl.Rows) {
+			return nil, nil
+		}
+		it.b.reset(it.width, it.e.batchSize)
+		rowidCol := it.width - 1
+		for it.b.N < it.e.batchSize && it.pos < len(it.tbl.Rows) {
+			src := it.tbl.Rows[it.pos]
+			for c := range src {
+				it.b.Cols[c][it.b.N] = src[c]
+			}
+			it.b.Cols[rowidCol][it.b.N] = datum.NewInt(int64(it.pos))
+			it.pos++
+			it.b.N++
+		}
+		if err := it.e.evalPredsBatch(it.n.Filter, &it.b, it.bc); err != nil {
+			return nil, err
+		}
+		if it.b.Rows() == 0 {
+			continue // filter rejected the whole batch; keep scanning
+		}
+		it.e.noteBatch(&it.b)
+		return &it.b, nil
+	}
+}
+
+func (it *batchSeqScanIter) Close() error { return nil }
+
+// batchIndexScanIter probes or range-scans an index batch-wise.
+type batchIndexScanIter struct {
+	e     *env
+	n     *optimizer.IndexScan
+	tbl   *storage.Table
+	match []int32
+	pos   int
+	width int
+	bc    *batchCtx
+	b     Batch
+}
+
+func newBatchIndexScan(e *env, n *optimizer.IndexScan) (*batchIndexScanIter, error) {
+	tbl := e.db.Table(n.Table.Name)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %s has no storage", n.Table.Name)
+	}
+	return &batchIndexScanIter{e: e, n: n, tbl: tbl}, nil
+}
+
+func (it *batchIndexScanIter) Open(outer *Ctx) error {
+	it.pos = 0
+	it.width = len(it.n.Columns())
+	it.bc = newBatchCtx(it.e, it.n.Columns(), outer)
+	match, err := indexMatches(it.e, it.n, it.tbl, outer)
+	if err != nil {
+		return err
+	}
+	it.match = match
+	return nil
+}
+
+func (it *batchIndexScanIter) NextBatch() (*Batch, error) {
+	for {
+		if err := it.e.checkCancelBatch(); err != nil {
+			return nil, err
+		}
+		if it.pos >= len(it.match) {
+			return nil, nil
+		}
+		it.b.reset(it.width, it.e.batchSize)
+		rowidCol := it.width - 1
+		for it.b.N < it.e.batchSize && it.pos < len(it.match) {
+			rowid := it.match[it.pos]
+			src := it.tbl.Rows[rowid]
+			for c := range src {
+				it.b.Cols[c][it.b.N] = src[c]
+			}
+			it.b.Cols[rowidCol][it.b.N] = datum.NewInt(int64(rowid))
+			it.pos++
+			it.b.N++
+		}
+		if err := it.e.evalPredsBatch(it.n.Filter, &it.b, it.bc); err != nil {
+			return nil, err
+		}
+		if it.b.Rows() == 0 {
+			continue
+		}
+		it.e.noteBatch(&it.b)
+		return &it.b, nil
+	}
+}
+
+func (it *batchIndexScanIter) Close() error { return nil }
+
+// batchFilterIter refines each child batch's selection vector through the
+// filter predicates, forwarding only batches with surviving rows.
+type batchFilterIter struct {
+	e     *env
+	n     *optimizer.Filter
+	child batchIterator
+	bc    *batchCtx
+}
+
+func newBatchFilter(e *env, n *optimizer.Filter, child batchIterator) *batchFilterIter {
+	return &batchFilterIter{e: e, n: n, child: child}
+}
+
+func (it *batchFilterIter) Open(outer *Ctx) error {
+	it.bc = newBatchCtx(it.e, it.n.Child.Columns(), outer)
+	return it.child.Open(outer)
+}
+
+func (it *batchFilterIter) NextBatch() (*Batch, error) {
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if err := it.e.evalPredsBatch(it.n.Preds, b, it.bc); err != nil {
+			return nil, err
+		}
+		if b.Rows() > 0 {
+			return b, nil
+		}
+	}
+}
+
+func (it *batchFilterIter) Close() error { return it.child.Close() }
+
+// batchProjectIter evaluates the output expressions column-wise into its
+// own batch, carrying the child's selection vector through unchanged.
+type batchProjectIter struct {
+	e     *env
+	n     *optimizer.Project
+	child batchIterator
+	bc    *batchCtx
+	out   Batch
+}
+
+func newBatchProject(e *env, n *optimizer.Project, child batchIterator) *batchProjectIter {
+	return &batchProjectIter{e: e, n: n, child: child}
+}
+
+func (it *batchProjectIter) Open(outer *Ctx) error {
+	it.bc = newBatchCtx(it.e, it.n.Child.Columns(), outer)
+	return it.child.Open(outer)
+}
+
+func (it *batchProjectIter) NextBatch() (*Batch, error) {
+	b, err := it.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	it.out.reset(len(it.n.Exprs), b.N)
+	for i, ex := range it.n.Exprs {
+		if err := it.e.evalExprBatch(ex, b, b.Sel, it.bc, it.out.Cols[i]); err != nil {
+			return nil, err
+		}
+	}
+	it.out.N = b.N
+	it.out.Sel = b.Sel
+	return &it.out, nil
+}
+
+func (it *batchProjectIter) Close() error { return it.child.Close() }
+
+// batchSortIter materializes its input (copying rows out of the child's
+// reused batches), sorts, and re-emits the rows in fresh batches.
+type batchSortIter struct {
+	e     *env
+	n     *optimizer.Sort
+	child batchIterator
+	rows  []Row
+	pos   int
+	out   Batch
+}
+
+func newBatchSort(e *env, n *optimizer.Sort, child batchIterator) *batchSortIter {
+	return &batchSortIter{e: e, n: n, child: child}
+}
+
+func (it *batchSortIter) Open(outer *Ctx) error {
+	if err := it.child.Open(outer); err != nil {
+		return err
+	}
+	it.rows = nil
+	it.pos = 0
+	bc := newBatchCtx(it.e, it.n.Child.Columns(), outer)
+	var keys []Row
+	keyVecs := make([][]datum.Datum, len(it.n.Keys))
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i, k := range it.n.Keys {
+			keyVecs[i] = bc.getVec(b.N)
+			if err := it.e.evalExprBatch(k, b, b.Sel, bc, keyVecs[i]); err != nil {
+				return err
+			}
+		}
+		for k := 0; k < b.Rows(); k++ {
+			r := b.Live(k)
+			kr := make(Row, len(it.n.Keys))
+			for i := range it.n.Keys {
+				kr[i] = keyVecs[i][r]
+			}
+			it.rows = append(it.rows, b.Row(r))
+			keys = append(keys, kr)
+		}
+		for i := range keyVecs {
+			bc.putVec(keyVecs[i])
+		}
+	}
+	sortRowsByKeys(it.n, it.rows, keys)
+	return nil
+}
+
+// sortRowsByKeys stably sorts rows by their precomputed key rows (permuted
+// through an index indirection so rows and keys stay aligned).
+func sortRowsByKeys(n *optimizer.Sort, rows []Row, keys []Row) {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range n.Keys {
+			c := nullsFirstCompare(ka[i], kb[i])
+			if n.Desc[i] {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	permuted := make([]Row, len(rows))
+	for i, j := range idx {
+		permuted[i] = rows[j]
+	}
+	copy(rows, permuted)
+}
+
+func (it *batchSortIter) NextBatch() (*Batch, error) {
+	if it.pos >= len(it.rows) {
+		return nil, nil
+	}
+	width := len(it.n.Child.Columns())
+	it.out.reset(width, it.e.batchSize)
+	for it.out.N < it.e.batchSize && it.pos < len(it.rows) {
+		it.out.appendRow(it.rows[it.pos])
+		it.pos++
+	}
+	return &it.out, nil
+}
+
+func (it *batchSortIter) Close() error { return it.child.Close() }
+
+// memBytes approximates the sorted materialization (same formula as the
+// row engine's sortIter, so EXPLAIN ANALYZE mem= stays comparable).
+func (it *batchSortIter) memBytes() int64 { return rowsBytes(it.rows) }
+
+// batchLimitIter passes batches through until the row budget is spent,
+// cutting the final batch mid-way by truncating its selection.
+type batchLimitIter struct {
+	child batchIterator
+	n     int64
+	seen  int64
+}
+
+func (it *batchLimitIter) Open(outer *Ctx) error {
+	it.seen = 0
+	return it.child.Open(outer)
+}
+
+func (it *batchLimitIter) NextBatch() (*Batch, error) {
+	if it.seen >= it.n {
+		return nil, nil
+	}
+	b, err := it.child.NextBatch()
+	if err != nil || b == nil {
+		return nil, err
+	}
+	remain := it.n - it.seen
+	if int64(b.Rows()) <= remain {
+		it.seen += int64(b.Rows())
+		return b, nil
+	}
+	// ROWNUM cuts mid-batch: keep the first remain selected rows.
+	if b.Sel != nil {
+		b.Sel = b.Sel[:remain]
+	} else {
+		b.N = int(remain)
+	}
+	it.seen = it.n
+	return b, nil
+}
+
+func (it *batchLimitIter) Close() error { return it.child.Close() }
+
+// batchDistinctIter streams batches through, keeping only first
+// occurrences by refining the selection vector against the seen-key set.
+type batchDistinctIter struct {
+	e       *env
+	child   batchIterator
+	seen    map[string]bool
+	scratch Row
+	sel     []int
+}
+
+func newBatchDistinct(e *env, child batchIterator) *batchDistinctIter {
+	return &batchDistinctIter{e: e, child: child}
+}
+
+func (it *batchDistinctIter) Open(outer *Ctx) error {
+	it.seen = map[string]bool{}
+	return it.child.Open(outer)
+}
+
+func (it *batchDistinctIter) NextBatch() (*Batch, error) {
+	for {
+		b, err := it.child.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if cap(it.scratch) < len(b.Cols) {
+			it.scratch = make(Row, len(b.Cols))
+		}
+		it.scratch = it.scratch[:len(b.Cols)]
+		it.sel = it.sel[:0]
+		for k := 0; k < b.Rows(); k++ {
+			r := b.Live(k)
+			b.gather(r, it.scratch)
+			key := rowKey(it.scratch)
+			if !it.seen[key] {
+				it.seen[key] = true
+				it.sel = append(it.sel, r)
+			}
+		}
+		if len(it.sel) == 0 {
+			continue
+		}
+		b.Sel = it.sel
+		return b, nil
+	}
+}
+
+func (it *batchDistinctIter) Close() error { return it.child.Close() }
+
+// memBytes approximates the duplicate-elimination key set (same formula as
+// the row engine's distinctIter).
+func (it *batchDistinctIter) memBytes() int64 {
+	var b int64
+	for k := range it.seen {
+		b += 48 + int64(len(k))
+	}
+	return b
+}

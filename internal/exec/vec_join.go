@@ -1,0 +1,564 @@
+package exec
+
+import (
+	"strconv"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+)
+
+// maxPresize caps the hash-table pre-sizing taken from the optimizer's
+// cardinality estimate, so a wildly wrong estimate cannot allocate an
+// arbitrarily large empty table.
+const maxPresize = 1 << 20
+
+// batchHashJoinIter is the vectorized hash join. The build side (right
+// input) is drained batch-wise into a hash table pre-sized from the
+// optimizer's cardinality estimate for that subtree; probe keys are
+// evaluated column-wise per left batch. Semijoin-family kinds refine the
+// left batch's selection vector in place (their output schema is the left
+// schema); inner and outer kinds assemble combined output batches, carrying
+// probe state across NextBatch calls so one wide probe row can span several
+// output batches. Null-key, residual-predicate and outer-padding semantics
+// replicate the row engine's hashJoinIter exactly.
+type batchHashJoinIter struct {
+	e    *env
+	n    *optimizer.Join
+	l, r batchIterator
+
+	combCtx *Ctx
+	comb    Row // scratch combined row for residual On evaluation
+	nLeft   int
+	nRight  int
+
+	table map[string][]int
+	// Single-key fast path: when the join has exactly one non-null-safe
+	// equi-key, integer-valued keys (KInt and integral KFloat, which
+	// datum.Key groups together) hash as raw int64, skipping the per-row
+	// key-string rendering on both sides. The first build key that is not
+	// integer-valued demotes the whole table to the generic string form.
+	intMode  bool
+	intTable map[int64][]int
+	// buildCols stores the build side columnar (buildCols[c][ri] is column
+	// c of build row ri): one growing slice per column instead of one Row
+	// allocation per build row.
+	buildCols [][]datum.Datum
+	// presenceOnly marks semijoin-family builds with no residual On
+	// predicates: build columns are never read and a key's verdict depends
+	// only on whether its bucket is non-empty, so the drain stores neither
+	// columns nor duplicate bucket entries.
+	presenceOnly bool
+	nBuild       int
+	buildMatched []bool
+	buildNulls   bool
+
+	bcL        *batchCtx
+	scratchKey Row
+	keyStr     []string // per physical probe row (generic path)
+	keyInt     []int64  // per physical probe row (int fast path)
+	keyIntOK   []bool   // probe key reduced to an int64
+	keyNull    []bool
+
+	// Probe continuation state (inner/outer kinds).
+	cur        *Batch
+	k          int // next live index in cur
+	inRow      bool
+	curRow     int // physical index of the probe row being expanded
+	bucket     []int
+	bucketPos  int
+	rowMatched bool
+	leftDone   bool
+	done       bool
+	tailPos    int
+	out        Batch
+	sel        []int // selection scratch for semijoin-family kinds
+}
+
+func newBatchHashJoin(e *env, n *optimizer.Join, l, r batchIterator) *batchHashJoinIter {
+	return &batchHashJoinIter{e: e, n: n, l: l, r: r}
+}
+
+func (it *batchHashJoinIter) Open(outer *Ctx) error {
+	it.nLeft = len(it.n.L.Columns())
+	it.nRight = len(it.n.R.Columns())
+	comb := append([]optimizer.ColID(nil), it.n.L.Columns()...)
+	comb = append(comb, it.n.R.Columns()...)
+	it.combCtx = &Ctx{parent: outer, cols: colMap(comb)}
+	it.comb = make(Row, it.nLeft+it.nRight)
+	it.scratchKey = make(Row, len(it.n.EqL))
+	it.bcL = newBatchCtx(it.e, it.n.L.Columns(), outer)
+	it.cur = nil
+	it.k = 0
+	it.inRow = false
+	it.leftDone = false
+	it.done = false
+	it.tailPos = 0
+	it.buildNulls = false
+	it.buildMatched = nil
+
+	// Pre-size the build structures from the optimizer's estimate: on a
+	// well-estimated build side the table never rehashes during the drain.
+	est := int(it.n.R.Cost().Rows)
+	if est < 0 {
+		est = 0
+	}
+	if est > maxPresize {
+		est = maxPresize
+	}
+	it.intMode = len(it.n.EqR) == 1 && !it.n.NullSafe(0)
+	if it.intMode {
+		it.intTable = make(map[int64][]int, est)
+		it.table = make(map[string][]int)
+	} else {
+		it.intTable = nil
+		it.table = make(map[string][]int, est)
+	}
+	switch it.n.Kind {
+	case qtree.JoinSemi, qtree.JoinAnti, qtree.JoinNullAwareAnti:
+		it.presenceOnly = len(it.n.On) == 0
+	default:
+		it.presenceOnly = false
+	}
+	if it.presenceOnly {
+		it.buildCols = nil
+	} else {
+		it.buildCols = make([][]datum.Datum, it.nRight)
+		for c := range it.buildCols {
+			it.buildCols[c] = make([]datum.Datum, 0, est)
+		}
+	}
+	it.nBuild = 0
+
+	if err := it.r.Open(outer); err != nil {
+		return err
+	}
+	bcR := newBatchCtx(it.e, it.n.R.Columns(), outer)
+	vecs := make([][]datum.Datum, len(it.n.EqR))
+	key := make(Row, len(it.n.EqR))
+	for {
+		rb, err := it.r.NextBatch()
+		if err != nil {
+			return err
+		}
+		if rb == nil {
+			break
+		}
+		for i, ex := range it.n.EqR {
+			vecs[i] = bcR.getVec(rb.N)
+			if err := it.e.evalExprBatch(ex, rb, rb.Sel, bcR, vecs[i]); err != nil {
+				return err
+			}
+		}
+		for k := 0; k < rb.Rows(); k++ {
+			r := rb.Live(k)
+			hasNull := false
+			for i := range it.n.EqR {
+				d := vecs[i][r]
+				if d.IsNull() && !it.n.NullSafe(i) {
+					hasNull = true
+				}
+				key[i] = d
+			}
+			idx := it.nBuild
+			for c := range it.buildCols {
+				it.buildCols[c] = append(it.buildCols[c], rb.Cols[c][r])
+			}
+			it.nBuild++ // counted even when presenceOnly: NOT IN needs the empty-set check
+			if hasNull {
+				// Null keys never match under plain equality; under a full
+				// outer join the row still surfaces in the unmatched tail.
+				it.buildNulls = true
+				continue
+			}
+			it.insertBuild(key, idx)
+		}
+		for i := range vecs {
+			bcR.putVec(vecs[i])
+		}
+	}
+	if it.n.Kind == qtree.JoinFullOuter {
+		it.buildMatched = make([]bool, it.nBuild)
+	}
+	return it.l.Open(outer)
+}
+
+// insertBuild adds build row idx under its join key, demoting from the
+// int64 fast path to the generic string table on the first build key that
+// is not integer-valued.
+func (it *batchHashJoinIter) insertBuild(key Row, idx int) {
+	if it.intMode {
+		if v, ok := intJoinKey(key[0]); ok {
+			bucket := it.intTable[v]
+			if it.presenceOnly && len(bucket) > 0 {
+				return
+			}
+			it.intTable[v] = append(bucket, idx)
+			return
+		}
+		it.demote()
+	}
+	ks := rowKey(key)
+	bucket := it.table[ks]
+	if it.presenceOnly && len(bucket) > 0 {
+		return
+	}
+	it.table[ks] = append(bucket, idx)
+}
+
+// demote rewrites the int64 table in the generic string form. The string
+// key of an integer-valued datum is fully determined by its int64
+// reduction (datum.Key normalizes integral floats onto the integer form),
+// so the buckets move over verbatim.
+func (it *batchHashJoinIter) demote() {
+	for v, bucket := range it.intTable {
+		it.table[intKeyString(v)] = bucket
+	}
+	it.intTable = nil
+	it.intMode = false
+}
+
+// intKeyString renders the generic-table key that rowKey would produce for
+// a single integer-valued datum.
+func intKeyString(v int64) string {
+	return "\x01" + strconv.FormatInt(v, 10) + "\x1f"
+}
+
+// intJoinKey reduces a datum to the int64 hash key shared by integers and
+// integral floats, mirroring datum.Key's cross-kind grouping. Nulls,
+// strings, bools and non-integral floats do not reduce.
+func intJoinKey(d datum.Datum) (int64, bool) {
+	switch d.Kind() {
+	case datum.KInt:
+		return d.Int(), true
+	case datum.KFloat:
+		f := d.Float()
+		if i := int64(f); f == float64(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// prepKeys evaluates the probe-key expressions for a left batch column-wise
+// and renders per-row hash keys and null flags.
+func (it *batchHashJoinIter) prepKeys(b *Batch) error {
+	if cap(it.keyNull) < b.N {
+		it.keyStr = make([]string, b.N)
+		it.keyInt = make([]int64, b.N)
+		it.keyIntOK = make([]bool, b.N)
+		it.keyNull = make([]bool, b.N)
+	}
+	it.keyStr = it.keyStr[:b.N]
+	it.keyInt = it.keyInt[:b.N]
+	it.keyIntOK = it.keyIntOK[:b.N]
+	it.keyNull = it.keyNull[:b.N]
+	vecs := make([][]datum.Datum, len(it.n.EqL))
+	for i, ex := range it.n.EqL {
+		vecs[i] = it.bcL.getVec(b.N)
+		if err := it.e.evalExprBatch(ex, b, b.Sel, it.bcL, vecs[i]); err != nil {
+			return err
+		}
+	}
+	if it.intMode {
+		vec := vecs[0] // intMode implies one non-null-safe key
+		for k := 0; k < b.Rows(); k++ {
+			r := b.Live(k)
+			d := vec[r]
+			if d.IsNull() {
+				it.keyNull[r] = true
+				continue
+			}
+			it.keyNull[r] = false
+			it.keyInt[r], it.keyIntOK[r] = intJoinKey(d)
+		}
+	} else {
+		for k := 0; k < b.Rows(); k++ {
+			r := b.Live(k)
+			hasNull := false
+			for i := range it.n.EqL {
+				d := vecs[i][r]
+				if d.IsNull() && !it.n.NullSafe(i) {
+					hasNull = true
+				}
+				it.scratchKey[i] = d
+			}
+			it.keyStr[r] = rowKey(it.scratchKey)
+			it.keyNull[r] = hasNull
+		}
+	}
+	for i := range vecs {
+		it.bcL.putVec(vecs[i])
+	}
+	return nil
+}
+
+// bucketFor returns the build bucket for probe row r: nil when the key is
+// null, and under the fast path also when the probe key is not
+// integer-valued — such a key cannot equal anything in an all-integer
+// build table.
+func (it *batchHashJoinIter) bucketFor(r int) []int {
+	if it.keyNull[r] {
+		return nil
+	}
+	if it.intMode {
+		if !it.keyIntOK[r] {
+			return nil
+		}
+		return it.intTable[it.keyInt[r]]
+	}
+	return it.table[it.keyStr[r]]
+}
+
+// onMatch evaluates the residual join predicates for (probe row r, build
+// row ri); with no residual predicates every bucket entry matches.
+func (it *batchHashJoinIter) onMatch(b *Batch, r, ri int) (bool, error) {
+	if len(it.n.On) == 0 {
+		return true, nil
+	}
+	for c := 0; c < it.nLeft; c++ {
+		it.comb[c] = b.Cols[c][r]
+	}
+	for c := 0; c < it.nRight; c++ {
+		it.comb[it.nLeft+c] = it.buildCols[c][ri]
+	}
+	it.combCtx.row = it.comb
+	return it.e.evalPreds(it.n.On, it.combCtx)
+}
+
+// anyMatch reports whether any build row in the key's bucket passes the
+// residual predicates.
+func (it *batchHashJoinIter) anyMatch(b *Batch, r int) (bool, error) {
+	bucket := it.bucketFor(r)
+	if len(it.n.On) == 0 {
+		return len(bucket) > 0, nil
+	}
+	for _, ri := range bucket {
+		ok, err := it.onMatch(b, r, ri)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func (it *batchHashJoinIter) NextBatch() (*Batch, error) {
+	if err := it.e.checkCancelBatch(); err != nil {
+		return nil, err
+	}
+	switch it.n.Kind {
+	case qtree.JoinSemi, qtree.JoinAnti, qtree.JoinNullAwareAnti:
+		return it.nextFilterBatch()
+	}
+	return it.nextCombineBatch()
+}
+
+// nextFilterBatch handles the semijoin-family kinds by refining the left
+// batch's selection to rows whose verdict is emit.
+func (it *batchHashJoinIter) nextFilterBatch() (*Batch, error) {
+	for {
+		b, err := it.l.NextBatch()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		if err := it.prepKeys(b); err != nil {
+			return nil, err
+		}
+		it.sel = it.sel[:0]
+		for k := 0; k < b.Rows(); k++ {
+			r := b.Live(k)
+			emit, err := it.verdict(b, r)
+			if err != nil {
+				return nil, err
+			}
+			if emit {
+				it.sel = append(it.sel, r)
+			}
+		}
+		if len(it.sel) > 0 {
+			b.Sel = it.sel
+			return b, nil
+		}
+	}
+}
+
+// verdict computes the semijoin/antijoin decision for one probe row,
+// mirroring hashJoinIter's per-kind null handling.
+func (it *batchHashJoinIter) verdict(b *Batch, r int) (bool, error) {
+	hasNull := it.keyNull[r]
+	switch it.n.Kind {
+	case qtree.JoinSemi:
+		if hasNull {
+			return false, nil
+		}
+		return it.anyMatch(b, r)
+	case qtree.JoinAnti:
+		if hasNull {
+			// Unknown comparison: NOT EXISTS-style anti keeps the row.
+			return true, nil
+		}
+		ok, err := it.anyMatch(b, r)
+		return !ok, err
+	default: // JoinNullAwareAnti
+		if it.nBuild == 0 {
+			return true, nil // NOT IN over empty set is TRUE
+		}
+		if it.buildNulls || hasNull {
+			return false, nil // UNKNOWN everywhere: row suppressed
+		}
+		ok, err := it.anyMatch(b, r)
+		return !ok, err
+	}
+}
+
+// emitComb appends probe row r combined with build row ri to the output.
+func (it *batchHashJoinIter) emitComb(r, ri int) {
+	for c := 0; c < it.nLeft; c++ {
+		it.out.Cols[c][it.out.N] = it.cur.Cols[c][r]
+	}
+	for c := 0; c < it.nRight; c++ {
+		it.out.Cols[it.nLeft+c][it.out.N] = it.buildCols[c][ri]
+	}
+	it.out.N++
+}
+
+// emitLeftPad appends probe row r padded with right NULLs (left/full outer).
+func (it *batchHashJoinIter) emitLeftPad(r int) {
+	for c := 0; c < it.nLeft; c++ {
+		it.out.Cols[c][it.out.N] = it.cur.Cols[c][r]
+	}
+	for c := 0; c < it.nRight; c++ {
+		it.out.Cols[it.nLeft+c][it.out.N] = datum.Null
+	}
+	it.out.N++
+}
+
+// emitRightPad appends unmatched build row ri padded with left NULLs (full
+// outer tail).
+func (it *batchHashJoinIter) emitRightPad(ri int) {
+	for c := 0; c < it.nLeft; c++ {
+		it.out.Cols[c][it.out.N] = datum.Null
+	}
+	for c := 0; c < it.nRight; c++ {
+		it.out.Cols[it.nLeft+c][it.out.N] = it.buildCols[c][ri]
+	}
+	it.out.N++
+}
+
+// nextCombineBatch drives the inner/outer probe state machine until the
+// output batch fills or input is exhausted.
+func (it *batchHashJoinIter) nextCombineBatch() (*Batch, error) {
+	if it.done {
+		return nil, nil
+	}
+	outerPad := it.n.Kind == qtree.JoinLeftOuter || it.n.Kind == qtree.JoinFullOuter
+	it.out.reset(it.nLeft+it.nRight, it.e.batchSize)
+	for {
+		if it.out.N == it.e.batchSize {
+			return &it.out, nil
+		}
+		if it.leftDone {
+			// Full outer tail: build rows that never matched.
+			for it.tailPos < it.nBuild && it.out.N < it.e.batchSize {
+				i := it.tailPos
+				it.tailPos++
+				if it.buildMatched[i] {
+					continue
+				}
+				it.emitRightPad(i)
+			}
+			if it.tailPos >= it.nBuild {
+				it.done = true
+				return it.flush()
+			}
+			continue
+		}
+		if it.inRow {
+			for it.bucketPos < len(it.bucket) && it.out.N < it.e.batchSize {
+				ri := it.bucket[it.bucketPos]
+				it.bucketPos++
+				ok, err := it.onMatch(it.cur, it.curRow, ri)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					it.rowMatched = true
+					if it.buildMatched != nil {
+						it.buildMatched[ri] = true
+					}
+					it.emitComb(it.curRow, ri)
+				}
+			}
+			if it.bucketPos < len(it.bucket) {
+				return &it.out, nil // output full mid-bucket; resume here
+			}
+			if outerPad && !it.rowMatched {
+				if it.out.N == it.e.batchSize {
+					return &it.out, nil // resume with the padding next call
+				}
+				it.emitLeftPad(it.curRow)
+			}
+			it.inRow = false
+			continue
+		}
+		if it.cur == nil || it.k >= it.cur.Rows() {
+			b, err := it.l.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if it.n.Kind == qtree.JoinFullOuter {
+					it.leftDone = true
+					continue
+				}
+				it.done = true
+				return it.flush()
+			}
+			if err := it.prepKeys(b); err != nil {
+				return nil, err
+			}
+			it.cur = b
+			it.k = 0
+		}
+		r := it.cur.Live(it.k)
+		it.k++
+		it.curRow = r
+		it.bucket = it.bucketFor(r)
+		it.bucketPos = 0
+		it.rowMatched = false
+		it.inRow = true
+	}
+}
+
+// flush returns the partial output batch, or nil when it is empty.
+func (it *batchHashJoinIter) flush() (*Batch, error) {
+	if it.out.N > 0 {
+		return &it.out, nil
+	}
+	return nil, nil
+}
+
+func (it *batchHashJoinIter) Close() error {
+	it.l.Close()
+	return it.r.Close()
+}
+
+// memBytes approximates the build side: rows plus hash-table buckets. The
+// per-row term uses the row engine's rowBytes formula on the columnar
+// store, so EXPLAIN ANALYZE mem= stays comparable across engines.
+func (it *batchHashJoinIter) memBytes() int64 {
+	var b int64
+	if !it.presenceOnly {
+		b = int64(it.nBuild) * (48 + 16*int64(it.nRight))
+	}
+	for k, bucket := range it.table {
+		b += 48 + int64(len(k)) + 8*int64(len(bucket))
+	}
+	for _, bucket := range it.intTable {
+		b += 48 + 8 + 8*int64(len(bucket))
+	}
+	return b
+}

@@ -1,0 +1,290 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// batchNLJoinIter is the vectorized nested-loops join for the dominant
+// lateral shape: an index probe on the right re-opened per left row. The
+// left side runs batched; the probe inlines the index lookup and filter so
+// matching rows are copied from table storage straight into the output
+// batch, skipping the row engine's per-row Row allocation and the
+// materialized right-row cache. Probe results (post-filter rowids) are
+// cached per distinct correlation value exactly like nlJoinIter's lateral
+// cache, and the inlined IndexScan's EXPLAIN ANALYZE counters are kept
+// by hand with the row engine's per-open accounting (a cache hit performs
+// no open and counts nothing).
+type batchNLJoinIter struct {
+	e   *env
+	n   *optimizer.Join
+	l   batchIterator
+	rn  *optimizer.IndexScan
+	tbl *storage.Table
+
+	leftCtx *Ctx
+	selfCtx *Ctx // right-scan ctx for the probe filter (parent: leftCtx)
+	combCtx *Ctx
+	comb    Row // scratch: left row ++ right row; prefix doubles as leftCtx.row
+	srcBuf  Row // scratch: right source row ++ rowid for the probe filter
+	nLeft   int
+	nRight  int
+
+	cacheCols []optimizer.ColID
+	cache     map[string][]int32
+	keyBuf    Row
+	cacheMem  int64
+
+	// Probe continuation state, mirroring batchHashJoinIter.
+	cur     *Batch
+	k       int
+	inRow   bool
+	rowids  []int32
+	pos     int
+	matched bool
+	done    bool
+	out     Batch
+}
+
+// canBatchNLJoin reports whether the join runs on the vectorized
+// nested-loops path: inner or left-outer kind with a lateral bare
+// IndexScan right side. Other kinds (semi-family verdict caching, full
+// outer right tails) and composite right subtrees stay on the row bridge.
+func canBatchNLJoin(n *optimizer.Join) bool {
+	if n.Kind != qtree.JoinInner && n.Kind != qtree.JoinLeftOuter {
+		return false
+	}
+	if !n.RLateral {
+		return false
+	}
+	_, ok := n.R.(*optimizer.IndexScan)
+	return ok
+}
+
+func newBatchNLJoin(e *env, n *optimizer.Join, l batchIterator) (*batchNLJoinIter, error) {
+	rn, ok := n.R.(*optimizer.IndexScan)
+	if !ok {
+		return nil, fmt.Errorf("exec: batch NL join requires an IndexScan right side, got %T", n.R)
+	}
+	tbl := e.db.Table(rn.Table.Name)
+	if tbl == nil {
+		return nil, fmt.Errorf("exec: table %s has no storage", rn.Table.Name)
+	}
+	if e.analyze != nil {
+		// The row build registers every node's counters at build time, so
+		// an unprobed inner side still reports a zeroed entry; match that.
+		e.opStats(rn)
+	}
+	return &batchNLJoinIter{e: e, n: n, l: l, rn: rn, tbl: tbl, cacheCols: leftRefCols(n)}, nil
+}
+
+func (it *batchNLJoinIter) Open(outer *Ctx) error {
+	it.nLeft = len(it.n.L.Columns())
+	it.nRight = len(it.n.R.Columns())
+	it.leftCtx = &Ctx{parent: outer, cols: colMap(it.n.L.Columns())}
+	it.selfCtx = &Ctx{parent: it.leftCtx, cols: colMap(it.n.R.Columns())}
+	comb := append([]optimizer.ColID(nil), it.n.L.Columns()...)
+	comb = append(comb, it.n.R.Columns()...)
+	it.combCtx = &Ctx{parent: outer, cols: colMap(comb)}
+	it.comb = make(Row, it.nLeft+it.nRight)
+	it.srcBuf = make(Row, it.nRight)
+	it.keyBuf = make(Row, len(it.cacheCols))
+	it.cache = map[string][]int32{}
+	it.cacheMem = 0
+	it.cur = nil
+	it.k = 0
+	it.inRow = false
+	it.done = false
+	return it.l.Open(outer)
+}
+
+// leftKeyStr renders the lateral-cache key for the current left row
+// (leftCtx.row must be bound), with nlJoinIter.leftKey's cacheability rule.
+func (it *batchNLJoinIter) leftKeyStr() (string, bool) {
+	if len(it.cacheCols) == 0 {
+		return "", false
+	}
+	for i, id := range it.cacheCols {
+		d, ok := it.leftCtx.lookup(id)
+		if !ok {
+			return "", false
+		}
+		it.keyBuf[i] = d
+	}
+	return rowKey(it.keyBuf), true
+}
+
+// probe runs one index lookup for the current left row and filters the
+// candidates, charging the inlined IndexScan node the same opens/nexts/rows
+// the row engine's materializing drain would.
+func (it *batchNLJoinIter) probe() ([]int32, error) {
+	var st *OpStats
+	if it.e.analyze != nil {
+		st = it.e.opStats(it.rn)
+		st.Opens++
+	}
+	match, err := indexMatches(it.e, it.rn, it.tbl, it.leftCtx)
+	if err != nil {
+		return nil, err
+	}
+	if len(it.rn.Filter) > 0 && len(match) > 0 {
+		kept := match[:0:0]
+		for _, rid := range match {
+			src := it.tbl.Rows[rid]
+			copy(it.srcBuf, src)
+			it.srcBuf[len(src)] = datum.NewInt(int64(rid))
+			it.selfCtx.row = it.srcBuf
+			ok, err := it.e.evalPreds(it.rn.Filter, it.selfCtx)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				kept = append(kept, rid)
+			}
+		}
+		match = kept
+	}
+	if st != nil {
+		// One Next per returned row plus the end-of-input call.
+		st.Nexts += int64(len(match)) + 1
+		st.Rows += int64(len(match))
+	}
+	return match, nil
+}
+
+// rightFor returns the post-filter rowids for the current left row, probing
+// on a lateral-cache miss.
+func (it *batchNLJoinIter) rightFor() ([]int32, error) {
+	key, cacheable := it.leftKeyStr()
+	if cacheable {
+		if rowids, ok := it.cache[key]; ok {
+			return rowids, nil
+		}
+	}
+	rowids, err := it.probe()
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		it.cache[key] = rowids
+		it.cacheMem += 48 + int64(len(key)) + 4*int64(len(rowids))
+	}
+	return rowids, nil
+}
+
+// onMatch evaluates the residual On predicates for the current left row
+// combined with build row rid.
+func (it *batchNLJoinIter) onMatch(rid int32) (bool, error) {
+	if len(it.n.On) == 0 {
+		return true, nil
+	}
+	src := it.tbl.Rows[rid]
+	copy(it.comb[it.nLeft:], src)
+	it.comb[it.nLeft+len(src)] = datum.NewInt(int64(rid))
+	it.combCtx.row = it.comb
+	return it.e.evalPreds(it.n.On, it.combCtx)
+}
+
+// emit appends the current left row combined with right row rid.
+func (it *batchNLJoinIter) emit(rid int32) {
+	for c := 0; c < it.nLeft; c++ {
+		it.out.Cols[c][it.out.N] = it.comb[c]
+	}
+	src := it.tbl.Rows[rid]
+	for c := range src {
+		it.out.Cols[it.nLeft+c][it.out.N] = src[c]
+	}
+	it.out.Cols[it.nLeft+len(src)][it.out.N] = datum.NewInt(int64(rid))
+	it.out.N++
+}
+
+// emitLeftPad appends the current left row padded with right NULLs.
+func (it *batchNLJoinIter) emitLeftPad() {
+	for c := 0; c < it.nLeft; c++ {
+		it.out.Cols[c][it.out.N] = it.comb[c]
+	}
+	for c := 0; c < it.nRight; c++ {
+		it.out.Cols[it.nLeft+c][it.out.N] = datum.Null
+	}
+	it.out.N++
+}
+
+func (it *batchNLJoinIter) NextBatch() (*Batch, error) {
+	if err := it.e.checkCancelBatch(); err != nil {
+		return nil, err
+	}
+	if it.done {
+		return nil, nil
+	}
+	outerPad := it.n.Kind == qtree.JoinLeftOuter
+	it.out.reset(it.nLeft+it.nRight, it.e.batchSize)
+	for {
+		if it.out.N == it.e.batchSize {
+			return &it.out, nil
+		}
+		if it.inRow {
+			for it.pos < len(it.rowids) && it.out.N < it.e.batchSize {
+				rid := it.rowids[it.pos]
+				it.pos++
+				ok, err := it.onMatch(rid)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					it.matched = true
+					it.emit(rid)
+				}
+			}
+			if it.pos < len(it.rowids) {
+				return &it.out, nil // output full mid-probe; resume here
+			}
+			if outerPad && !it.matched {
+				if it.out.N == it.e.batchSize {
+					return &it.out, nil // resume with the padding next call
+				}
+				it.emitLeftPad()
+			}
+			it.inRow = false
+			continue
+		}
+		if it.cur == nil || it.k >= it.cur.Rows() {
+			b, err := it.l.NextBatch()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				it.done = true
+				if it.out.N > 0 {
+					return &it.out, nil
+				}
+				return nil, nil
+			}
+			it.cur = b
+			it.k = 0
+			continue
+		}
+		r := it.cur.Live(it.k)
+		it.k++
+		for c := 0; c < it.nLeft; c++ {
+			it.comb[c] = it.cur.Cols[c][r]
+		}
+		it.leftCtx.row = it.comb[:it.nLeft]
+		rowids, err := it.rightFor()
+		if err != nil {
+			return nil, err
+		}
+		it.rowids = rowids
+		it.pos = 0
+		it.matched = false
+		it.inRow = true
+	}
+}
+
+func (it *batchNLJoinIter) Close() error { return it.l.Close() }
+
+// memBytes reports the lateral cache footprint.
+func (it *batchNLJoinIter) memBytes() int64 { return it.cacheMem }
