@@ -114,6 +114,10 @@ func remoteQuery(cli *server.Client, sql string, binds []server.BindValue, maxRo
 		source = "shared plan cache"
 	}
 	fmt.Printf("\n-- transformed (%s, %s) --\n%s\n", time.Since(start).Round(10*time.Microsecond), source, stmt.SQL)
+	if kw := strings.ToUpper(strings.Fields(sql)[0]); kw == "INSERT" || kw == "UPDATE" || kw == "DELETE" {
+		fmt.Printf("\n-- %d row(s) affected --\n\n", stmt.Affected)
+		return
+	}
 	rows, err := stmt.FetchAll()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fetch error: %v\n", err)

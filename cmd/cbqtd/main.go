@@ -8,9 +8,14 @@
 // Usage:
 //
 //	cbqtd -addr :7654 -size medium
+//	cbqtd -addr :7654 -store disk -data-dir /var/lib/cbqt
 //
-// Stop with SIGINT/SIGTERM: the daemon drains gracefully — open cursors
-// may be fetched to completion; new statements are refused.
+// With -store disk every committed write is logged to a segmented WAL
+// under -data-dir and fsynced before the commit is acknowledged; on
+// restart the daemon replays the log and serves the recovered state (the
+// demo schema seeds the directory only on first start). Stop with
+// SIGINT/SIGTERM: the daemon drains gracefully — open cursors may be
+// fetched to completion; new statements are refused.
 package main
 
 import (
@@ -24,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/cbqt"
 	"repro/internal/obsv"
 	"repro/internal/server"
@@ -35,6 +41,8 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7654", "TCP listen address")
 	size := flag.String("size", "small", "demo data size: small or medium")
 	seed := flag.Int64("seed", 1, "data generation seed")
+	store := flag.String("store", "mem", "storage engine: mem (volatile) or disk (WAL-backed, durable)")
+	dataDir := flag.String("data-dir", "", "disk engine data directory (required with -store disk)")
 	strategy := flag.String("strategy", "auto", "default state-space search: auto, exhaustive, iterative, linear, two-pass")
 	cacheOff := flag.Bool("cache-off", false, "disable the shared plan cache (every execute optimizes)")
 	chk := flag.Bool("check", false, "statically verify every transformation state and plan served (sessions can override per-statement)")
@@ -49,14 +57,44 @@ func main() {
 	writeTimeout := flag.Duration("write-timeout", 0, "sever sessions whose peer stops reading responses for this long (0 = never)")
 	flag.Parse()
 
-	var db *storage.DB
+	var seedDB *storage.DB
 	switch *size {
 	case "small":
-		db = testkit.NewDB(testkit.SmallSizes(), *seed)
+		seedDB = testkit.NewDB(testkit.SmallSizes(), *seed)
 	case "medium":
-		db = testkit.NewDB(testkit.MediumSizes(), *seed)
+		seedDB = testkit.NewDB(testkit.MediumSizes(), *seed)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown size %q\n", *size)
+		os.Exit(2)
+	}
+
+	var db *storage.DB
+	switch *store {
+	case "mem":
+		db = seedDB
+	case "disk":
+		if *dataDir == "" {
+			fmt.Fprintln(os.Stderr, "-store disk requires -data-dir")
+			os.Exit(2)
+		}
+		cat := catalog.New()
+		eng, err := storage.OpenDiskEngine(*dataDir, cat)
+		if err != nil {
+			log.Fatalf("cbqtd: open disk store: %v", err)
+		}
+		db = storage.NewDBWithEngine(cat, eng)
+		if len(cat.Tables()) == 0 {
+			// Fresh directory: seed the demo dataset through the WAL so the
+			// first start is durable too.
+			log.Printf("cbqtd: seeding %s demo data into %s", *size, *dataDir)
+			if err := storage.Mirror(seedDB, db); err != nil {
+				log.Fatalf("cbqtd: seed disk store: %v", err)
+			}
+		} else {
+			log.Printf("cbqtd: recovered %d table(s) from %s", len(cat.Tables()), *dataDir)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q\n", *store)
 		os.Exit(2)
 	}
 
@@ -79,6 +117,7 @@ func main() {
 	}
 
 	reg := obsv.NewRegistry()
+	db.Metrics(reg) // storage.mvcc.* / storage.wal.* counters
 	srv := server.New(server.Config{
 		DB:              db,
 		Opts:            opts,
@@ -98,7 +137,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("cbqtd: listen: %v", err)
 	}
-	log.Printf("cbqtd: serving %s data on %s (cache %s)", *size, l.Addr(), onOff(!*cacheOff))
+	log.Printf("cbqtd: serving %s data on %s (store %s, cache %s)", *size, l.Addr(), *store, onOff(!*cacheOff))
 
 	if *metricsEvery > 0 {
 		go func() {

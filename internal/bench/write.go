@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+	"repro/internal/exec"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// The write experiment measures the MVCC write path on both storage
+// engines: sustained commit throughput (single writer, single-row and
+// batched commits) and a mixed workload where concurrent writers commit
+// while readers execute a snapshot query — the configuration the
+// snapshot-isolation design exists for, since neither side ever blocks
+// the other. The disk engine pays one fsync per commit (write-before-ack),
+// so its sustained numbers are fsync-bound by design; batched commits
+// amortize it.
+
+// WriteRow is one measured configuration of the write experiment.
+type WriteRow struct {
+	Engine    string        `json:"engine"` // "mem" or "disk"
+	Mode      string        `json:"mode"`   // "insert-1", "insert-64", "mixed"
+	Commits   int64         `json:"commits"`
+	Rows      int64         `json:"rows_written"`
+	Duration  time.Duration `json:"duration_ns"`
+	WriteQPS  float64       `json:"write_commits_per_sec"`
+	RowRate   float64       `json:"rows_per_sec"`
+	Reads     int64         `json:"reads,omitempty"`
+	ReadQPS   float64       `json:"read_qps,omitempty"`
+	Conflicts int64         `json:"conflicts,omitempty"`
+}
+
+// WriteConfig sizes the write experiment.
+type WriteConfig struct {
+	// Commits is the sustained-throughput commit count per mode (<= 0: 2000).
+	Commits int
+	// MixedDuration is the mixed read/write measurement window (<= 0: 1s).
+	MixedDuration time.Duration
+	// Writers and Readers size the mixed workload (<= 0: 4 and 4).
+	Writers int
+	Readers int
+	// DiskDir holds the disk engine's data ("" = a temp dir, removed after).
+	DiskDir string
+}
+
+func writeTableMeta() *catalog.Table {
+	return &catalog.Table{
+		Name: "WBENCH",
+		Cols: []catalog.Column{
+			{Name: "ID", Type: datum.KInt},
+			{Name: "GRP", Type: datum.KInt},
+			{Name: "VAL", Type: datum.KFloat},
+			{Name: "NOTE", Type: datum.KString, Nullable: true},
+		},
+		PrimaryKey: []int{0},
+		Indexes: []*catalog.Index{
+			{Name: "WBENCH_PK", Cols: []int{0}, Unique: true},
+			{Name: "WBENCH_GRP", Cols: []int{1}},
+		},
+	}
+}
+
+func benchRow(id int64) []datum.Datum {
+	return []datum.Datum{
+		datum.NewInt(id), datum.NewInt(id % 16), datum.NewFloat(float64(id) * 1.5), datum.NewString("w"),
+	}
+}
+
+// sustained commits n single-batch transactions of batchRows rows each.
+func sustained(db *storage.DB, n, batchRows int, nextID *int64) (WriteRow, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		b := db.NewBatch()
+		for j := 0; j < batchRows; j++ {
+			if err := b.Insert("WBENCH", benchRow(atomic.AddInt64(nextID, 1))); err != nil {
+				return WriteRow{}, err
+			}
+		}
+		if _, err := db.Commit(b); err != nil {
+			return WriteRow{}, err
+		}
+	}
+	el := time.Since(start)
+	rows := int64(n * batchRows)
+	return WriteRow{
+		Mode: fmt.Sprintf("insert-%d", batchRows), Commits: int64(n), Rows: rows, Duration: el,
+		WriteQPS: float64(n) / el.Seconds(), RowRate: float64(rows) / el.Seconds(),
+	}, nil
+}
+
+// mixed runs writers committing inserts against readers executing a
+// snapshot query for the window, reporting both sides' rates.
+func mixed(ctx context.Context, db *storage.DB, cfg WriteConfig, nextID *int64) (WriteRow, error) {
+	q, err := qtree.BindSQL("SELECT COUNT(*), SUM(VAL) FROM wbench WHERE GRP = 3", db.Catalog)
+	if err != nil {
+		return WriteRow{}, err
+	}
+	plan, err := optimizer.New(db.Catalog).Optimize(q)
+	if err != nil {
+		return WriteRow{}, err
+	}
+
+	dur := cfg.MixedDuration
+	if dur <= 0 {
+		dur = time.Second
+	}
+	writers, readers := cfg.Writers, cfg.Readers
+	if writers <= 0 {
+		writers = 4
+	}
+	if readers <= 0 {
+		readers = 4
+	}
+
+	wctx, cancel := context.WithTimeout(ctx, dur)
+	defer cancel()
+	var commits, rows, reads atomic.Int64
+	var firstErr atomic.Value
+	fail := func(err error) {
+		if err != nil && wctx.Err() == nil {
+			firstErr.CompareAndSwap(nil, err)
+			cancel()
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wctx.Err() == nil {
+				b := db.NewBatch()
+				for j := 0; j < 8; j++ {
+					if err := b.Insert("WBENCH", benchRow(atomic.AddInt64(nextID, 1))); err != nil {
+						fail(err)
+						return
+					}
+				}
+				if _, err := db.Commit(b); err != nil {
+					fail(err)
+					return
+				}
+				commits.Add(1)
+				rows.Add(8)
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for wctx.Err() == nil {
+				if _, err := exec.RunWith(context.Background(), db, plan, exec.Options{}); err != nil {
+					fail(err)
+					return
+				}
+				reads.Add(1)
+			}
+		}()
+	}
+	start := time.Now()
+	wg.Wait()
+	el := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return WriteRow{}, err
+	}
+	return WriteRow{
+		Mode: "mixed", Commits: commits.Load(), Rows: rows.Load(), Duration: el,
+		WriteQPS: float64(commits.Load()) / el.Seconds(),
+		RowRate:  float64(rows.Load()) / el.Seconds(),
+		Reads:    reads.Load(), ReadQPS: float64(reads.Load()) / el.Seconds(),
+	}, nil
+}
+
+// Write runs the write experiment over both engines.
+func Write(ctx context.Context, cfg WriteConfig) ([]WriteRow, error) {
+	n := cfg.Commits
+	if n <= 0 {
+		n = 2000
+	}
+	var out []WriteRow
+	for _, engine := range []string{"mem", "disk"} {
+		cat := catalog.New()
+		var db *storage.DB
+		switch engine {
+		case "mem":
+			db = storage.NewDB(cat)
+		case "disk":
+			dir := cfg.DiskDir
+			if dir == "" {
+				td, err := os.MkdirTemp("", "cbqt-write-bench-")
+				if err != nil {
+					return nil, err
+				}
+				defer os.RemoveAll(td)
+				dir = td
+			}
+			eng, err := storage.OpenDiskEngine(dir, cat)
+			if err != nil {
+				return nil, err
+			}
+			db = storage.NewDBWithEngine(cat, eng)
+		}
+		if _, err := db.CreateTable(writeTableMeta()); err != nil {
+			return nil, err
+		}
+		db.Finalize()
+
+		var nextID int64
+		// Disk commits fsync; scale the single-row count down so the
+		// experiment stays quick on slow disks.
+		n1 := n
+		if engine == "disk" {
+			n1 = n / 4
+			if n1 < 1 {
+				n1 = 1
+			}
+		}
+		for _, batch := range []struct {
+			commits, rows int
+		}{{n1, 1}, {n / 16, 64}} {
+			if batch.commits < 1 {
+				batch.commits = 1
+			}
+			r, err := sustained(db, batch.commits, batch.rows, &nextID)
+			if err != nil {
+				return nil, err
+			}
+			r.Engine = engine
+			out = append(out, r)
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+		}
+		r, err := mixed(ctx, db, cfg, &nextID)
+		if err != nil {
+			return nil, err
+		}
+		r.Engine = engine
+		out = append(out, r)
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// FormatWrite renders the human-readable report.
+func FormatWrite(rows []WriteRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "write path: sustained and mixed read/write throughput per engine\n")
+	fmt.Fprintf(&b, "%-6s %-10s %10s %12s %14s %12s %10s\n",
+		"engine", "mode", "commits", "commits/s", "rows/s", "reads/s", "window")
+	for _, r := range rows {
+		reads := "-"
+		if r.Mode == "mixed" {
+			reads = fmt.Sprintf("%.0f", r.ReadQPS)
+		}
+		fmt.Fprintf(&b, "%-6s %-10s %10d %12.0f %14.0f %12s %10s\n",
+			r.Engine, r.Mode, r.Commits, r.WriteQPS, r.RowRate, reads,
+			r.Duration.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// WriteJSON persists the machine-readable result next to the human report.
+func WriteJSON(rows []WriteRow, path string) error {
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -45,8 +45,20 @@ type Table struct {
 	UniqueKeys  [][]int
 	ForeignKeys []ForeignKey
 	Indexes     []*Index
-	Stats       *TableStats // nil until analyzed
+
+	// stats is the current optimizer statistics, published atomically so
+	// ANALYZE can refresh it while concurrent optimizations read it (no
+	// DDL lock). A *TableStats is immutable once published.
+	stats atomic.Pointer[TableStats]
 }
+
+// Stats returns the current optimizer statistics, or nil before the first
+// ANALYZE. The returned snapshot is immutable; a concurrent ANALYZE
+// publishes a fresh one without disturbing readers.
+func (t *Table) Stats() *TableStats { return t.stats.Load() }
+
+// SetStats atomically publishes new optimizer statistics.
+func (t *Table) SetStats(s *TableStats) { t.stats.Store(s) }
 
 // Ordinal returns the ordinal of the named column, or -1.
 func (t *Table) Ordinal(name string) int {
@@ -148,6 +160,12 @@ type Catalog struct {
 	// CREATE TABLE). Plan caches embed it in their keys so any change
 	// invalidates every plan optimized under the old statistics.
 	version atomic.Int64
+	// dataVersion counts committed write transactions (INSERT, UPDATE,
+	// DELETE). It does not key the plan cache — cached plans stay correct
+	// under data churn because every execution reads its own snapshot —
+	// but it lets ANALYZE policies, tests and observability see how far
+	// the stored data has drifted from the statistics the optimizer used.
+	dataVersion atomic.Int64
 }
 
 // Version returns the current statistics/DDL version. It starts at 0 and
@@ -157,6 +175,12 @@ func (c *Catalog) Version() int64 { return c.version.Load() }
 // BumpVersion records a statistics or DDL change and returns the new
 // version. Safe for concurrent use.
 func (c *Catalog) BumpVersion() int64 { return c.version.Add(1) }
+
+// DataVersion returns the number of committed write transactions.
+func (c *Catalog) DataVersion() int64 { return c.dataVersion.Load() }
+
+// BumpDataVersion records one committed write transaction.
+func (c *Catalog) BumpDataVersion() int64 { return c.dataVersion.Add(1) }
 
 // New returns an empty catalog pre-populated with the built-in scalar
 // functions.

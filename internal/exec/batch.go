@@ -3,6 +3,7 @@ package exec
 import (
 	"repro/internal/datum"
 	"repro/internal/obsv"
+	"repro/internal/storage"
 )
 
 // DefaultBatchSize is the number of rows a batch operator aims to carry per
@@ -28,6 +29,11 @@ type Options struct {
 	// exec.batch.batches (batches produced) and the exec.batch.selectivity
 	// histogram (per-batch percentage of rows surviving a filter).
 	Metrics *obsv.Registry
+	// Snap pins the execution to an existing storage snapshot (e.g. a DML
+	// statement reading and writing under one view). When nil, the run
+	// acquires its own snapshot, so every statement executes against a
+	// consistent multi-table view regardless.
+	Snap *storage.Snapshot
 }
 
 // Batch is a column-oriented slice of rows flowing between batch operators:

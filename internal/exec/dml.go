@@ -1,0 +1,135 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/datum"
+	"repro/internal/optimizer"
+	"repro/internal/qtree"
+	"repro/internal/storage"
+)
+
+// DMLResult reports the outcome of one mutation statement.
+type DMLResult struct {
+	Kind qtree.DMLKind
+	// Affected is the statement's row count: rows inserted, updated, or
+	// deleted.
+	Affected int
+	// CommitTS is the commit timestamp the write received (unchanged
+	// oracle reading when the statement affected no rows).
+	CommitTS uint64
+}
+
+// RunDML executes a bound mutation statement. The locating/source query
+// (readPlan, compiled from stmt.Read by the regular cost-based optimizer;
+// nil for the INSERT ... VALUES form) runs through the ordinary engines
+// against one snapshot; the mutations accumulate in a write batch that
+// commits atomically at the end. Under snapshot isolation a concurrent
+// commit that removed a targeted row surfaces as storage.ErrWriteConflict
+// — the caller may re-run the statement, which re-reads under a fresh
+// snapshot.
+func RunDML(ctx context.Context, db *storage.DB, stmt *qtree.DMLStmt, readPlan *optimizer.Plan, params []datum.Datum, opts Options) (*DMLResult, error) {
+	if opts.Snap == nil {
+		opts.Snap = db.Snapshot()
+	}
+	if (stmt.Read == nil) != (readPlan == nil) {
+		return nil, fmt.Errorf("exec: %s statement needs a read plan exactly when it has a read query", stmt.Kind)
+	}
+	batch := db.NewBatch()
+	res := &DMLResult{Kind: stmt.Kind}
+	table := stmt.Table.Name
+
+	// mapRow spreads the produced values over a full-width table row, with
+	// NULL for columns outside the target list (their nullability is
+	// enforced by the write batch).
+	mapRow := func(vals Row) []datum.Datum {
+		out := make([]datum.Datum, len(stmt.Table.Cols))
+		for i := range out {
+			out[i] = datum.Null
+		}
+		for i, ord := range stmt.TargetCols {
+			out[ord] = vals[i]
+		}
+		return out
+	}
+
+	switch stmt.Kind {
+	case qtree.DMLInsert:
+		if stmt.Read == nil {
+			// VALUES form: scalar expressions over bind parameters only.
+			// The env carries an empty plan, so a stray subquery fails
+			// cleanly instead of finding a compiled subplan.
+			e := newEnv(ctx, db, &optimizer.Plan{})
+			e.applyOptions(opts)
+			e.params = params
+			for _, row := range stmt.Values {
+				vals := make(Row, len(row))
+				for i, x := range row {
+					d, err := e.evalExpr(x, nil)
+					if err != nil {
+						return nil, err
+					}
+					vals[i] = d
+				}
+				if err := batch.Insert(table, mapRow(vals)); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			r, err := RunParamsWith(ctx, db, readPlan, params, opts)
+			if err != nil {
+				return nil, err
+			}
+			for _, row := range r.Rows {
+				if err := batch.Insert(table, mapRow(row[:len(stmt.TargetCols)])); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Affected = batch.Inserted()
+
+	case qtree.DMLUpdate:
+		view := opts.Snap.Table(table)
+		if view == nil {
+			return nil, fmt.Errorf("exec: table %s has no storage", table)
+		}
+		r, err := RunParamsWith(ctx, db, readPlan, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range r.Rows {
+			rid := int32(row[0].Int())
+			newRow := append([]datum.Datum(nil), view.Rows[rid]...)
+			for i, ord := range stmt.TargetCols {
+				newRow[ord] = row[1+i]
+			}
+			if err := batch.Update(table, rid, newRow); err != nil {
+				return nil, err
+			}
+		}
+		res.Affected = batch.Deleted()
+
+	case qtree.DMLDelete:
+		r, err := RunParamsWith(ctx, db, readPlan, params, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range r.Rows {
+			if err := batch.Delete(table, int32(row[0].Int())); err != nil {
+				return nil, err
+			}
+		}
+		res.Affected = batch.Deleted()
+
+	default:
+		return nil, fmt.Errorf("exec: unknown DML kind %v", stmt.Kind)
+	}
+
+	ts, err := db.Commit(batch)
+	if err != nil {
+		return nil, err
+	}
+	res.CommitTS = ts
+	return res, nil
+}

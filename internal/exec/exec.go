@@ -61,6 +61,10 @@ func (c *Ctx) lookup(id optimizer.ColID) (datum.Datum, bool) {
 type env struct {
 	db   *storage.DB
 	plan *optimizer.Plan
+	// snap is the storage snapshot this execution reads through: every
+	// table reference resolves to the same consistent multi-table view, so
+	// concurrent commits never change a running statement's results.
+	snap *storage.Snapshot
 	// subqCache memoizes subquery predicate results under tuple iteration
 	// semantics, keyed per subquery by correlation and left-hand values.
 	subqCache map[*qtree.Subq]map[string]datum.Datum
@@ -98,6 +102,9 @@ type env struct {
 // applyOptions resolves Options into the env.
 func (e *env) applyOptions(opts Options) {
 	e.opts = opts
+	if opts.Snap != nil {
+		e.snap = opts.Snap
+	}
 	if opts.BatchSize > 0 {
 		e.batchSize = opts.BatchSize
 	}
@@ -191,9 +198,20 @@ func RunParamsWith(ctx context.Context, db *storage.DB, plan *optimizer.Plan, pa
 	return runEnv(e)
 }
 
+// table resolves a base table through the run's snapshot.
+func (e *env) table(name string) *storage.Table {
+	if e.snap != nil {
+		return e.snap.Table(name)
+	}
+	return e.db.Table(name)
+}
+
 // newEnv prepares the run-wide state for one execution.
 func newEnv(ctx context.Context, db *storage.DB, plan *optimizer.Plan) *env {
 	e := &env{db: db, plan: plan, subqCache: map[*qtree.Subq]map[string]datum.Datum{}, batchSize: DefaultBatchSize}
+	if db != nil {
+		e.snap = db.Snapshot()
+	}
 	if ctx != nil && ctx != context.Background() {
 		e.ctx = ctx
 	}

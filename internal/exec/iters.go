@@ -21,7 +21,7 @@ type seqScanIter struct {
 }
 
 func newSeqScan(e *env, n *optimizer.SeqScan) *seqScanIter {
-	return &seqScanIter{e: e, n: n, tbl: e.db.Table(n.Table.Name)}
+	return &seqScanIter{e: e, n: n, tbl: e.table(n.Table.Name)}
 }
 
 func (it *seqScanIter) Open(outer *Ctx) error {
@@ -38,6 +38,10 @@ func (it *seqScanIter) Next() (Row, error) {
 	for it.pos < len(it.tbl.Rows) {
 		if err := it.e.checkCancel(); err != nil {
 			return nil, err
+		}
+		if !it.tbl.Visible(it.pos) {
+			it.pos++
+			continue
 		}
 		src := it.tbl.Rows[it.pos]
 		rowid := it.pos
@@ -71,7 +75,7 @@ type indexScanIter struct {
 }
 
 func newIndexScan(e *env, n *optimizer.IndexScan) (*indexScanIter, error) {
-	tbl := e.db.Table(n.Table.Name)
+	tbl := e.table(n.Table.Name)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: table %s has no storage", n.Table.Name)
 	}
@@ -91,8 +95,9 @@ func (it *indexScanIter) Open(outer *Ctx) error {
 }
 
 // indexMatches evaluates the probe/range bounds against the outer context
-// and returns the matching rowids; shared by the row and batch index scans.
-// A null bound never matches anything.
+// and returns the matching rowids, filtered to the versions visible in the
+// scan's table view; shared by the row and batch index scans. A null bound
+// never matches anything.
 func indexMatches(e *env, n *optimizer.IndexScan, tbl *storage.Table, outer *Ctx) ([]int32, error) {
 	idx := tbl.Index(n.Index.Name)
 	if idx == nil {
@@ -107,7 +112,7 @@ func indexMatches(e *env, n *optimizer.IndexScan, tbl *storage.Table, outer *Ctx
 			}
 			key[i] = d
 		}
-		return idx.EqualRange(key), nil
+		return tbl.FilterVisible(idx.EqualRange(key)), nil
 	}
 	var lo, hi datum.Datum
 	hasLo, hasHi := false, false
@@ -131,7 +136,7 @@ func indexMatches(e *env, n *optimizer.IndexScan, tbl *storage.Table, outer *Ctx
 		}
 		hi, hasHi = d, true
 	}
-	return idx.Range(lo, n.LoInc, hasLo, hi, n.HiInc, hasHi), nil
+	return tbl.FilterVisible(idx.Range(lo, n.LoInc, hasLo, hi, n.HiInc, hasHi)), nil
 }
 
 func (it *indexScanIter) Next() (Row, error) {

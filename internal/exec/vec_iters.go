@@ -30,7 +30,7 @@ type batchSeqScanIter struct {
 }
 
 func newBatchSeqScan(e *env, n *optimizer.SeqScan) *batchSeqScanIter {
-	return &batchSeqScanIter{e: e, n: n, tbl: e.db.Table(n.Table.Name)}
+	return &batchSeqScanIter{e: e, n: n, tbl: e.table(n.Table.Name)}
 }
 
 func (it *batchSeqScanIter) Open(outer *Ctx) error {
@@ -54,6 +54,10 @@ func (it *batchSeqScanIter) NextBatch() (*Batch, error) {
 		it.b.reset(it.width, it.e.batchSize)
 		rowidCol := it.width - 1
 		for it.b.N < it.e.batchSize && it.pos < len(it.tbl.Rows) {
+			if !it.tbl.Visible(it.pos) {
+				it.pos++
+				continue
+			}
 			src := it.tbl.Rows[it.pos]
 			for c := range src {
 				it.b.Cols[c][it.b.N] = src[c]
@@ -61,6 +65,9 @@ func (it *batchSeqScanIter) NextBatch() (*Batch, error) {
 			it.b.Cols[rowidCol][it.b.N] = datum.NewInt(int64(it.pos))
 			it.pos++
 			it.b.N++
+		}
+		if it.b.N == 0 {
+			continue // an all-dead tail; loop to the end-of-input return
 		}
 		if err := it.e.evalPredsBatch(it.n.Filter, &it.b, it.bc); err != nil {
 			return nil, err
@@ -88,7 +95,7 @@ type batchIndexScanIter struct {
 }
 
 func newBatchIndexScan(e *env, n *optimizer.IndexScan) (*batchIndexScanIter, error) {
-	tbl := e.db.Table(n.Table.Name)
+	tbl := e.table(n.Table.Name)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: table %s has no storage", n.Table.Name)
 	}

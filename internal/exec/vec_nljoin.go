@@ -70,7 +70,7 @@ func newBatchNLJoin(e *env, n *optimizer.Join, l batchIterator) (*batchNLJoinIte
 	if !ok {
 		return nil, fmt.Errorf("exec: batch NL join requires an IndexScan right side, got %T", n.R)
 	}
-	tbl := e.db.Table(rn.Table.Name)
+	tbl := e.table(rn.Table.Name)
 	if tbl == nil {
 		return nil, fmt.Errorf("exec: table %s has no storage", rn.Table.Name)
 	}

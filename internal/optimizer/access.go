@@ -40,8 +40,8 @@ func (jb *joinBuilder) standaloneAccess(f *qtree.FromItem, preds []qtree.Expr, v
 
 	t := f.Table
 	baseRows := 1000.0
-	if t.Stats != nil {
-		baseRows = math.Max(float64(t.Stats.RowCount), 1)
+	if st := t.Stats(); st != nil {
+		baseRows = math.Max(float64(st.RowCount), 1)
 	}
 	sel := es.selectivityAll(preds)
 

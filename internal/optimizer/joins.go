@@ -543,8 +543,8 @@ type indexProbe struct {
 func (jb *joinBuilder) tryIndexProbe(in *joinInput, equis []equiPred) *indexProbe {
 	t := in.item.Table
 	baseRows := 1000.0
-	if t.Stats != nil {
-		baseRows = math.Max(float64(t.Stats.RowCount), 1)
+	if st := t.Stats(); st != nil {
+		baseRows = math.Max(float64(st.RowCount), 1)
 	}
 	var best *indexProbe
 	for _, idx := range t.Indexes {

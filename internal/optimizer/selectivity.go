@@ -55,13 +55,13 @@ func newEstimator() *estimator {
 // addTable registers base-table statistics for a from item.
 func (es *estimator) addTable(id qtree.FromID, t *catalog.Table) {
 	ri := &relInfo{rows: 1000, cols: map[int]colInfo{}}
-	if t.Stats != nil {
-		ri.rows = float64(t.Stats.RowCount)
+	if st := t.Stats(); st != nil {
+		ri.rows = float64(st.RowCount)
 		if ri.rows < 1 {
 			ri.rows = 1
 		}
 		for i := range t.Cols {
-			cs := t.Stats.Col(i)
+			cs := st.Col(i)
 			ci := colInfo{
 				ndv:  math.Max(float64(cs.NDV), 1),
 				min:  cs.Min,
@@ -69,8 +69,8 @@ func (es *estimator) addTable(id qtree.FromID, t *catalog.Table) {
 				hist: cs.Hist,
 				rows: ri.rows,
 			}
-			if t.Stats.RowCount > 0 {
-				ci.nullFrac = float64(cs.NullCount) / float64(t.Stats.RowCount)
+			if st.RowCount > 0 {
+				ci.nullFrac = float64(cs.NullCount) / float64(st.RowCount)
 			}
 			ri.cols[i] = ci
 		}

@@ -30,7 +30,7 @@ func estTable(t *testing.T, n int) (*estimator, qtree.FromID) {
 		}
 		tbl.MustAppend(datum.NewInt(int64(i)), g, datum.NewString(string(rune('a'+i%26))))
 	}
-	meta.Stats = storage.Analyze(tbl)
+	meta.SetStats(storage.Analyze(tbl))
 	es := newEstimator()
 	es.addTable(1, meta)
 	return es, 1
@@ -141,7 +141,7 @@ func TestJoinPredSelectivity(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		tbl.MustAppend(datum.NewInt(int64(i % 10)))
 	}
-	meta.Stats = storage.Analyze(tbl)
+	meta.SetStats(storage.Analyze(tbl))
 	es2.addTable(2, meta)
 	// v(1000 ndv) = w(10 ndv): selectivity 1/max = 1/1000.
 	sel := es2.selectivity(&qtree.Bin{Op: qtree.OpEq, L: col(id, 0), R: col(2, 0)})

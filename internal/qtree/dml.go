@@ -1,0 +1,238 @@
+package qtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/sql"
+)
+
+// DMLKind distinguishes the three mutation statements.
+type DMLKind int
+
+// DML statement kinds.
+const (
+	DMLInsert DMLKind = iota
+	DMLUpdate
+	DMLDelete
+)
+
+func (k DMLKind) String() string {
+	switch k {
+	case DMLInsert:
+		return "INSERT"
+	case DMLUpdate:
+		return "UPDATE"
+	case DMLDelete:
+		return "DELETE"
+	}
+	return "?"
+}
+
+// DMLStmt is a bound mutation statement. Row location and value sourcing
+// reuse the full query machinery: Read is an ordinary bound query that the
+// cost-based optimizer plans like any SELECT, producing per target row
+//
+//	INSERT ... SELECT:  the source column values,
+//	UPDATE:             the target ROWID followed by the new SET values,
+//	DELETE:             the target ROWID,
+//
+// so updates and deletes benefit from index access paths and every
+// transformation the optimizer knows. The INSERT ... VALUES form needs no
+// read query: Values holds the bound scalar rows.
+type DMLStmt struct {
+	Kind  DMLKind
+	Table *catalog.Table
+	// TargetCols are the table column ordinals being written: the insert
+	// target list (identity permutation when no explicit column list), or
+	// the SET columns of an update, in statement order.
+	TargetCols []int
+	Values     [][]Expr // INSERT ... VALUES rows; nil for the other forms
+	Read       *Query   // nil only for the VALUES form
+	// Params lists the statement's bind-parameter names in ordinal order
+	// (shared with Read when Read is non-nil).
+	Params []string
+}
+
+// BindStatement binds any parsed statement: queries bind to *Query,
+// mutations to *DMLStmt.
+func BindStatement(stmt sql.Stmt, cat *catalog.Catalog) (interface{}, error) {
+	switch v := stmt.(type) {
+	case *sql.SelectStmt:
+		return Bind(v, cat)
+	case *sql.InsertStmt:
+		return BindInsert(v, cat)
+	case *sql.UpdateStmt:
+		return BindUpdate(v, cat)
+	case *sql.DeleteStmt:
+		return BindDelete(v, cat)
+	}
+	return nil, fmt.Errorf("qtree: unknown statement %T", stmt)
+}
+
+// BindDMLSQL parses and binds one DML statement from SQL text.
+func BindDMLSQL(src string, cat *catalog.Catalog) (*DMLStmt, error) {
+	stmt, err := sql.ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	bound, err := BindStatement(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	dml, ok := bound.(*DMLStmt)
+	if !ok {
+		return nil, fmt.Errorf("qtree: statement is a query, not DML")
+	}
+	return dml, nil
+}
+
+// resolveTargetCols maps an explicit column-name list to ordinals, or
+// returns the identity permutation. Duplicate targets are rejected.
+func resolveTargetCols(meta *catalog.Table, cols []string) ([]int, error) {
+	if cols == nil {
+		out := make([]int, len(meta.Cols))
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	out := make([]int, 0, len(cols))
+	seen := map[int]bool{}
+	for _, name := range cols {
+		ord := meta.Ordinal(name)
+		if ord < 0 {
+			return nil, fmt.Errorf("qtree: table %s has no column %s", meta.Name, name)
+		}
+		if seen[ord] {
+			return nil, fmt.Errorf("qtree: column %s.%s assigned twice", meta.Name, meta.Cols[ord].Name)
+		}
+		seen[ord] = true
+		out = append(out, ord)
+	}
+	return out, nil
+}
+
+// BindInsert binds an INSERT statement.
+func BindInsert(stmt *sql.InsertStmt, cat *catalog.Catalog) (*DMLStmt, error) {
+	meta := cat.Table(stmt.Table)
+	if meta == nil {
+		return nil, fmt.Errorf("qtree: table %s does not exist", stmt.Table)
+	}
+	targets, err := resolveTargetCols(meta, stmt.Cols)
+	if err != nil {
+		return nil, err
+	}
+	out := &DMLStmt{Kind: DMLInsert, Table: meta, TargetCols: targets}
+
+	if stmt.Query != nil {
+		q, err := Bind(stmt.Query, cat)
+		if err != nil {
+			return nil, err
+		}
+		if got := len(q.Root.OutCols()); got != len(targets) {
+			return nil, fmt.Errorf("qtree: INSERT into %d column(s) from a %d-column query", len(targets), got)
+		}
+		out.Read = q
+		out.Params = q.Params
+		return out, nil
+	}
+
+	// VALUES form: scalar expressions only — no FROM scope exists, so any
+	// column reference fails to resolve.
+	q := NewQuery(cat)
+	bd := &binder{q: q, cat: cat}
+	sc := &scope{}
+	for _, row := range stmt.Rows {
+		if len(row) != len(targets) {
+			return nil, fmt.Errorf("qtree: INSERT into %d column(s) with a %d-value row", len(targets), len(row))
+		}
+		bound := make([]Expr, len(row))
+		for i, e := range row {
+			be, err := bd.bindExpr(e, sc, false)
+			if err != nil {
+				return nil, err
+			}
+			bound[i] = be
+		}
+		out.Values = append(out.Values, bound)
+	}
+	out.Params = q.Params
+	return out, nil
+}
+
+// dmlTargetScan builds the FROM entry for an UPDATE/DELETE target table.
+func dmlTargetScan(table, alias string) sql.TableExpr {
+	return &sql.TableName{Name: table, Alias: alias}
+}
+
+// rowidItem is the ROWID select item addressing the target rows.
+func rowidItem(qual string) sql.SelectItem {
+	return sql.SelectItem{Expr: &sql.ColRef{Qual: qual, Name: "ROWID"}}
+}
+
+// BindUpdate binds an UPDATE by synthesizing its locating read query:
+//
+//	SELECT ROWID, set-expr1, ..., set-exprK FROM t [alias] WHERE cond
+func BindUpdate(stmt *sql.UpdateStmt, cat *catalog.Catalog) (*DMLStmt, error) {
+	meta := cat.Table(stmt.Table)
+	if meta == nil {
+		return nil, fmt.Errorf("qtree: table %s does not exist", stmt.Table)
+	}
+	qual := stmt.Alias
+	if qual == "" {
+		qual = stmt.Table
+	}
+	var sets []int
+	items := []sql.SelectItem{rowidItem(qual)}
+	seen := map[int]bool{}
+	for _, sc := range stmt.Set {
+		ord := meta.Ordinal(sc.Col)
+		if ord < 0 {
+			return nil, fmt.Errorf("qtree: table %s has no column %s", meta.Name, sc.Col)
+		}
+		if seen[ord] {
+			return nil, fmt.Errorf("qtree: column %s.%s assigned twice", meta.Name, meta.Cols[ord].Name)
+		}
+		seen[ord] = true
+		sets = append(sets, ord)
+		items = append(items, sql.SelectItem{Expr: sc.Val, Alias: "NEW_" + strings.ToUpper(sc.Col)})
+	}
+	read := &sql.SelectStmt{Body: &sql.Select{
+		Items: items,
+		From:  []sql.TableExpr{dmlTargetScan(stmt.Table, stmt.Alias)},
+		Where: stmt.Where,
+	}}
+	q, err := Bind(read, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &DMLStmt{
+		Kind:       DMLUpdate,
+		Table:      meta,
+		TargetCols: sets,
+		Read:       q,
+		Params:     q.Params,
+	}, nil
+}
+
+// BindDelete binds a DELETE by synthesizing its locating read query:
+//
+//	SELECT ROWID FROM t [alias] WHERE cond
+func BindDelete(stmt *sql.DeleteStmt, cat *catalog.Catalog) (*DMLStmt, error) {
+	meta := cat.Table(stmt.Table)
+	if meta == nil {
+		return nil, fmt.Errorf("qtree: table %s does not exist", stmt.Table)
+	}
+	read := &sql.SelectStmt{Body: &sql.Select{
+		Items: []sql.SelectItem{rowidItem(stmt.Alias)},
+		From:  []sql.TableExpr{dmlTargetScan(stmt.Table, stmt.Alias)},
+		Where: stmt.Where,
+	}}
+	q, err := Bind(read, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &DMLStmt{Kind: DMLDelete, Table: meta, Read: q, Params: q.Params}, nil
+}

@@ -275,10 +275,12 @@ type Stmt struct {
 	Params []string
 	// RowCount and SQL describe the last execute: cursor size and the
 	// transformed query text. Cached reports whether the plan came from
-	// the shared cache.
+	// the shared cache. Affected is the row count when the statement is a
+	// mutation (RowCount is then zero — mutations open an empty cursor).
 	RowCount int
 	SQL      string
 	Cached   bool
+	Affected int
 }
 
 // Prepare parses and binds the query on the server, returning a statement
@@ -320,6 +322,7 @@ func (s *Stmt) ExecuteContext(ctx context.Context, binds ...BindValue) error {
 			s.RowCount = resp.RowCount
 			s.SQL = resp.SQL
 			s.Cached = resp.Cached
+			s.Affected = resp.Affected
 			return nil
 		}
 		if attempt+1 >= s.c.attempts() || ErrorCode(err) != CodeOverloaded {
@@ -429,6 +432,35 @@ func (c *Client) queryOnce(ctx context.Context, sql string, binds []BindValue) (
 		all = append(all, batch...)
 		if fresp.Done {
 			return all, nil
+		}
+	}
+}
+
+// Exec runs one mutation statement (INSERT/UPDATE/DELETE) and returns its
+// affected-row count.
+func (c *Client) Exec(sql string, binds ...BindValue) (int, error) {
+	return c.ExecContext(context.Background(), sql, binds...)
+}
+
+// ExecContext is Exec with a deadline. Unlike QueryContext, only
+// OVERLOADED sheds are retried: a shed request never reached execution,
+// but a connection that broke mid-call may have committed the write, and
+// blindly re-running it would apply the mutation twice.
+func (c *Client) ExecContext(ctx context.Context, sql string, binds ...BindValue) (int, error) {
+	ctx, cancel := c.callContext(ctx)
+	defer cancel()
+	for attempt := 0; ; attempt++ {
+		resp, err := c.roundTripCtx(ctx, &Request{
+			Verb: VerbExecute, SQL: sql, Binds: binds, DeadlineMS: deadlineMS(ctx),
+		})
+		if err == nil {
+			return resp.Affected, nil
+		}
+		if attempt+1 >= c.attempts() || ErrorCode(err) != CodeOverloaded || ctx.Err() != nil {
+			return 0, err
+		}
+		if berr := c.sleepBackoff(ctx, attempt); berr != nil {
+			return 0, err
 		}
 	}
 }

@@ -34,8 +34,9 @@ var ErrDraining = errors.New("server: draining: no new statements accepted")
 
 // Config assembles a Server.
 type Config struct {
-	// DB is the shared database. The server serializes ANALYZE/DDL against
-	// query execution with a reader/writer lock.
+	// DB is the shared database. Every statement — reads, writes, ANALYZE
+	// — executes against its own MVCC snapshot, so nothing serializes
+	// against anything: writers commit while readers scan older versions.
 	DB *storage.DB
 	// Opts is the base optimizer configuration; sessions refine strategy
 	// and budget per connection. Opts.Metrics is overridden with Registry.
@@ -86,11 +87,6 @@ type Server struct {
 
 	idleTimeout  time.Duration
 	writeTimeout time.Duration
-
-	// ddl serializes statistics/DDL writes (ANALYZE, CREATE INDEX) against
-	// query optimization and execution: readers hold RLock for the
-	// optimize+execute span, ANALYZE takes the write lock.
-	ddl sync.RWMutex
 
 	mu        sync.Mutex
 	listener  net.Listener

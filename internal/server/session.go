@@ -18,14 +18,19 @@ import (
 	"repro/internal/optimizer"
 	"repro/internal/plancache"
 	"repro/internal/qtree"
+	"repro/internal/sql"
 )
 
 // cachedPlan is the value stored in the shared plan cache: the physical
 // plan plus everything a session needs to execute it without re-binding.
+// Mutation statements cache too: dml carries the bound statement and plan
+// holds its locating/source query's physical plan (nil for the
+// INSERT ... VALUES form, which has no read query).
 type cachedPlan struct {
 	plan   *optimizer.Plan
 	params []string // parameter names in ordinal order
 	sql    string   // transformed query text
+	dml    *qtree.DMLStmt
 }
 
 // stmt is one prepared statement within a session.
@@ -279,19 +284,32 @@ func (ss *session) prepare(req *Request) (*Response, error) {
 
 // newStmt parses and binds the text once to discover its parameters. The
 // throwaway tree also surfaces syntax and semantic errors at prepare time.
-func (ss *session) newStmt(sql string) (*stmt, error) {
-	q, err := qtree.BindSQL(sql, ss.srv.db.Catalog)
+// Queries and mutations both prepare here; the statement kind is resolved
+// again at plan time from the cached entry.
+func (ss *session) newStmt(src string) (*stmt, error) {
+	parsed, err := sql.ParseStatement(src)
 	if err != nil {
 		return nil, err
+	}
+	bound, err := qtree.BindStatement(parsed, ss.srv.db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	var params []string
+	switch v := bound.(type) {
+	case *qtree.Query:
+		params = v.Params
+	case *qtree.DMLStmt:
+		params = v.Params
 	}
 	ss.nextStmt++
 	return &stmt{
 		id:     ss.nextStmt,
-		sql:    sql,
-		norm:   plancache.Normalize(sql),
-		params: q.Params,
-		binds:  make([]datum.Datum, len(q.Params)),
-		bound:  make([]bool, len(q.Params)),
+		sql:    src,
+		norm:   plancache.Normalize(src),
+		params: params,
+		binds:  make([]datum.Datum, len(params)),
+		bound:  make([]bool, len(params)),
 	}, nil
 }
 
@@ -408,16 +426,27 @@ func (ss *session) execute(req *Request) (*Response, error) {
 		return nil, fmt.Errorf("server: plan expects %d parameters, statement has %d", len(cp.params), len(st.binds))
 	}
 
-	ss.srv.ddl.RLock()
-	res, err := exec.RunParams(ctx, ss.srv.db, cp.plan, st.binds)
-	ss.srv.ddl.RUnlock()
-	if err != nil {
-		return nil, err
-	}
-
-	st.cursor = make([][]datum.Datum, len(res.Rows))
-	for i, r := range res.Rows {
-		st.cursor[i] = r
+	// Every statement executes against its own MVCC snapshot: reads see
+	// one consistent version of every table for the whole run, and writers
+	// commit concurrently without blocking anyone (the old DDL RWMutex is
+	// gone — ANALYZE and index builds read snapshots like everything else).
+	affected := 0
+	if cp.dml != nil {
+		dres, err := exec.RunDML(ctx, ss.srv.db, cp.dml, cp.plan, st.binds, exec.Options{})
+		if err != nil {
+			return nil, err
+		}
+		affected = dres.Affected
+		st.cursor = nil
+	} else {
+		res, err := exec.RunParams(ctx, ss.srv.db, cp.plan, st.binds)
+		if err != nil {
+			return nil, err
+		}
+		st.cursor = make([][]datum.Datum, len(res.Rows))
+		for i, r := range res.Rows {
+			st.cursor[i] = r
+		}
 	}
 	st.pos = 0
 	st.open = true
@@ -431,16 +460,17 @@ func (ss *session) execute(req *Request) (*Response, error) {
 	if cached {
 		ss.cacheHits.Add(1)
 	}
-	return &Response{Stmt: st.id, SQL: cp.sql, Cached: cached, RowCount: len(st.cursor), Params: cp.params}, nil
+	return &Response{Stmt: st.id, SQL: cp.sql, Cached: cached, RowCount: len(st.cursor), Affected: affected, Params: cp.params}, nil
 }
 
 // plan resolves the statement's physical plan through the shared cache
-// (or optimizes directly when the cache is off). The catalog version is
-// read under the DDL read lock so a concurrent ANALYZE can't slip between
-// versioning the key and optimizing against the new statistics.
+// (or optimizes directly when the cache is off). The catalog stats version
+// in the key is an atomic read: an ANALYZE racing this lookup may cache a
+// plan one stats generation newer than its key says — still a correct
+// plan (statistics only steer cost), and the next Invalidate sweeps it.
+// The data version deliberately stays out of the key: snapshots keep a
+// cached plan correct under any amount of concurrent write churn.
 func (ss *session) plan(ctx context.Context, st *stmt) (*cachedPlan, bool, error) {
-	ss.srv.ddl.RLock()
-	defer ss.srv.ddl.RUnlock()
 	key := plancache.Key{
 		SQL:      st.norm,
 		Strategy: ss.strategy,
@@ -467,15 +497,45 @@ func (ss *session) plan(ctx context.Context, st *stmt) (*cachedPlan, bool, error
 }
 
 // optimize runs the full parse → bind → CBQT pipeline for one statement.
-// A request whose deadline expires mid-search fails here with the context
-// error rather than returning the degraded plan: the query could not make
-// its deadline anyway, and a plan degraded by one caller's deadline must
-// never be cached for everyone else.
-func (ss *session) optimize(ctx context.Context, sql string) (*cachedPlan, error) {
-	q, err := qtree.BindSQL(sql, ss.srv.db.Catalog)
+// Mutations go through the same pipeline: their locating/source query is
+// an ordinary bound query that the cost-based transformer plans like any
+// SELECT, so an UPDATE's subquery predicate gets unnested exactly as it
+// would in a read. A request whose deadline expires mid-search fails here
+// with the context error rather than returning the degraded plan: the
+// query could not make its deadline anyway, and a plan degraded by one
+// caller's deadline must never be cached for everyone else.
+func (ss *session) optimize(ctx context.Context, src string) (*cachedPlan, error) {
+	parsed, err := sql.ParseStatement(src)
 	if err != nil {
 		return nil, err
 	}
+	bound, err := qtree.BindStatement(parsed, ss.srv.db.Catalog)
+	if err != nil {
+		return nil, err
+	}
+	switch v := bound.(type) {
+	case *qtree.Query:
+		res, err := ss.runCBQT(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		return &cachedPlan{plan: res.Plan, params: res.Query.Params, sql: res.Query.SQL()}, nil
+	case *qtree.DMLStmt:
+		cp := &cachedPlan{params: v.Params, sql: src, dml: v}
+		if v.Read != nil {
+			res, err := ss.runCBQT(ctx, v.Read)
+			if err != nil {
+				return nil, err
+			}
+			cp.plan = res.Plan
+			cp.sql = res.Query.SQL()
+		}
+		return cp, nil
+	}
+	return nil, fmt.Errorf("server: unknown bound statement %T", bound)
+}
+
+func (ss *session) runCBQT(ctx context.Context, q *qtree.Query) (*cbqt.Result, error) {
 	o := &cbqt.Optimizer{Cat: ss.srv.db.Catalog, Opts: ss.opts}
 	res, err := o.OptimizeContext(ctx, q)
 	if err != nil {
@@ -485,7 +545,7 @@ func (ss *session) optimize(ctx context.Context, sql string) (*cachedPlan, error
 		return nil, err
 	}
 	ss.srv.adm.observe(res.Stats.MemoStateBytes)
-	return &cachedPlan{plan: res.Plan, params: res.Query.Params, sql: res.Query.SQL()}, nil
+	return res, nil
 }
 
 func (ss *session) fetch(req *Request) (*Response, error) {
@@ -526,19 +586,17 @@ func (ss *session) closeStmt(req *Request) (*Response, error) {
 	return &Response{Stmt: st.id}, nil
 }
 
-// analyze re-collects statistics under the DDL write lock and sweeps
-// now-stale plans from the shared cache.
+// analyze re-collects statistics and sweeps now-stale plans from the
+// shared cache. No lock: ANALYZE reads its own MVCC snapshot and publishes
+// stats atomically, so concurrent queries and writers never wait on it.
 func (ss *session) analyze(req *Request) (*Response, error) {
 	if ss.srv.Draining() {
 		return nil, ErrDraining
 	}
-	ss.srv.ddl.Lock()
-	err := ss.srv.db.AnalyzeTable(req.Table)
-	version := ss.srv.db.Catalog.Version()
-	ss.srv.ddl.Unlock()
-	if err != nil {
+	if err := ss.srv.db.AnalyzeTable(req.Table); err != nil {
 		return nil, err
 	}
+	version := ss.srv.db.Catalog.Version()
 	if ss.srv.cache != nil {
 		ss.srv.cache.Invalidate(version)
 	}

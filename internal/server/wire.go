@@ -104,6 +104,9 @@ type Response struct {
 	Cached bool `json:"cached,omitempty"`
 	// RowCount is the total size of the cursor opened by execute.
 	RowCount int `json:"row_count,omitempty"`
+	// Affected is the row count of a mutation statement (execute of
+	// INSERT/UPDATE/DELETE; such statements open an empty cursor).
+	Affected int `json:"affected,omitempty"`
 	// Rows is one fetch batch; Done marks cursor exhaustion.
 	Rows [][]WireDatum `json:"rows,omitempty"`
 	Done bool          `json:"done,omitempty"`

@@ -1,0 +1,233 @@
+package sql
+
+// DML statement grammar:
+//
+//	INSERT INTO t [(c1, ...)] VALUES (e1, ...) [, (e1, ...)]...
+//	INSERT INTO t [(c1, ...)] SELECT ...
+//	UPDATE t [alias] SET c1 = e1 [, c2 = e2]... [WHERE cond]
+//	DELETE FROM t [alias] [WHERE cond]
+//
+// UPDATE and DELETE target rows are located by the same expression grammar
+// as SELECT, including subqueries and bind parameters.
+
+// Stmt is any top-level statement: *SelectStmt, *InsertStmt, *UpdateStmt,
+// or *DeleteStmt.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// InsertStmt is INSERT INTO. Exactly one of Rows (the VALUES form) or
+// Query (the INSERT ... SELECT form) is set.
+type InsertStmt struct {
+	Table string
+	Cols  []string // explicit target column list; nil means all columns
+	Rows  [][]Expr
+	Query *SelectStmt
+}
+
+// SetClause is one "col = expr" assignment of an UPDATE.
+type SetClause struct {
+	Col string
+	Val Expr
+}
+
+// UpdateStmt is UPDATE ... SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Alias string
+	Set   []SetClause
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM ... [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Alias string
+	Where Expr
+}
+
+func (*InsertStmt) astNode() {}
+func (*UpdateStmt) astNode() {}
+func (*DeleteStmt) astNode() {}
+
+func (*SelectStmt) stmtNode() {}
+func (*InsertStmt) stmtNode() {}
+func (*UpdateStmt) stmtNode() {}
+func (*DeleteStmt) stmtNode() {}
+
+// ParseStatement parses one statement of any kind (query or DML).
+func ParseStatement(src string) (Stmt, error) {
+	toks, err := LexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	var stmt Stmt
+	switch {
+	case p.isKeyword("INSERT"):
+		stmt, err = p.parseInsert()
+	case p.isKeyword("UPDATE"):
+		stmt, err = p.parseUpdate()
+	case p.isKeyword("DELETE"):
+		stmt, err = p.parseDelete()
+	default:
+		stmt, err = p.parseSelectStmt()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errorf("unexpected %s after end of statement", p.peek())
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseInsert() (*InsertStmt, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &InsertStmt{Table: table}
+	// Optional target column list. Disambiguate from a VALUES-less SELECT
+	// by requiring "(" followed by an identifier list.
+	if p.isSymbol("(") {
+		mark := p.save()
+		p.next()
+		cols, ok := p.tryIdentList()
+		if ok {
+			stmt.Cols = cols
+		} else {
+			p.restore(mark)
+		}
+	}
+	switch {
+	case p.acceptKeyword("VALUES"):
+		for {
+			row, err := p.parseValuesRow()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Rows = append(stmt.Rows, row)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	case p.isKeyword("SELECT") || p.isSymbol("("):
+		q, err := p.parseSelectStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Query = q
+	default:
+		return nil, p.errorf("expected VALUES or SELECT, found %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// tryIdentList parses "ident [, ident]... )" and reports success; on
+// failure the caller restores the saved position.
+func (p *Parser) tryIdentList() ([]string, bool) {
+	var cols []string
+	for {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return nil, false
+		}
+		p.next()
+		cols = append(cols, t.Text)
+		if p.acceptSymbol(")") {
+			return cols, true
+		}
+		if !p.acceptSymbol(",") {
+			return nil, false
+		}
+	}
+}
+
+func (p *Parser) parseValuesRow() ([]Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var row []Expr
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, e)
+		if p.acceptSymbol(")") {
+			return row, nil
+		}
+		if err := p.expectSymbol(","); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *Parser) parseUpdate() (*UpdateStmt, error) {
+	p.next() // UPDATE
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &UpdateStmt{Table: table}
+	if p.peek().Kind == TokIdent {
+		stmt.Alias = p.next().Text
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.expectIdent()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Set = append(stmt.Set, SetClause{Col: col, Val: val})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseDelete() (*DeleteStmt, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &DeleteStmt{Table: table}
+	if p.peek().Kind == TokIdent {
+		stmt.Alias = p.next().Text
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = w
+	}
+	return stmt, nil
+}

@@ -60,4 +60,7 @@ var keywords = map[string]bool{
 	// Window functions.
 	"OVER": true, "PARTITION": true, "ROWS": true, "RANGE": true,
 	"UNBOUNDED": true, "PRECEDING": true, "CURRENT": true, "ROW": true,
+	// DML.
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true,
 }

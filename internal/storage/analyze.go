@@ -11,26 +11,29 @@ import (
 // for each column.
 const histBuckets = 16
 
-// Analyze computes optimizer statistics for a table: row count and, per
-// column, distinct-value count, null count, min/max, and an equi-height
-// histogram. It corresponds to collecting optimizer statistics in the paper
-// (dynamic sampling is modeled by the optimizer's computation cache, §3.4.4).
+// Analyze computes optimizer statistics for a table view: row count and,
+// per column, distinct-value count, null count, min/max, and an equi-height
+// histogram. Only rows visible in the view are counted — dead versions in
+// the MVCC heap never skew statistics. It corresponds to collecting
+// optimizer statistics in the paper (dynamic sampling is modeled by the
+// optimizer's computation cache, §3.4.4).
 func Analyze(t *Table) *catalog.TableStats {
+	rows := t.VisibleRows()
 	stats := &catalog.TableStats{
-		RowCount: int64(len(t.Rows)),
+		RowCount: int64(len(rows)),
 		Cols:     make([]catalog.ColStats, len(t.Meta.Cols)),
 	}
 	for c := range t.Meta.Cols {
-		stats.Cols[c] = analyzeColumn(t, c)
+		stats.Cols[c] = analyzeColumn(rows, c)
 	}
 	return stats
 }
 
-func analyzeColumn(t *Table, c int) catalog.ColStats {
+func analyzeColumn(rows []Row, c int) catalog.ColStats {
 	var cs catalog.ColStats
-	vals := make([]datum.Datum, 0, len(t.Rows))
+	vals := make([]datum.Datum, 0, len(rows))
 	distinct := map[string]struct{}{}
-	for _, r := range t.Rows {
+	for _, r := range rows {
 		v := r[c]
 		if v.IsNull() {
 			cs.NullCount++

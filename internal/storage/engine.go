@@ -1,0 +1,51 @@
+package storage
+
+import "repro/internal/catalog"
+
+// Engine is the pluggable storage engine contract. Both implementations —
+// the in-memory engine and the disk-backed append-log engine — expose the
+// same MVCC surface: immutable table version views, consistent snapshots,
+// and atomic write-batch commits with first-committer-wins conflicts.
+//
+//   - OpenTable returns the current head version view of a table (nil if
+//     unknown); its Rows/Visible/Index methods are the scan and
+//     index-range iteration surface.
+//   - Snapshot pins a consistent multi-table read view; readers never
+//     block writers and vice versa.
+//   - NewBatch/Commit form the write path; Commit assigns the commit
+//     timestamp from the engine's monotonic oracle and, for the disk
+//     engine, makes the batch durable (fsync) before applying it.
+type Engine interface {
+	CreateTable(meta *catalog.Table) (*Table, error)
+	OpenTable(name string) *Table
+	TableNames() []string
+	Snapshot() *Snapshot
+	NewBatch() *WriteBatch
+	Commit(b *WriteBatch) (uint64, error)
+	// UseMetrics wires storage.mvcc.* (and engine-specific) counters into
+	// the registry. Safe to call with nil.
+	UseMetrics(reg metricsRegistry)
+	// Close releases engine resources (flushes and closes the WAL for the
+	// disk engine). The in-memory engine's Close is a no-op.
+	Close() error
+}
+
+// MemEngine is the in-memory storage engine: the MVCC store with no
+// durability. Commits are visible until process exit.
+type MemEngine struct {
+	s *store
+}
+
+// NewMemEngine creates an empty in-memory engine over the given catalog.
+func NewMemEngine(cat *catalog.Catalog) *MemEngine {
+	return &MemEngine{s: newStore(cat)}
+}
+
+func (e *MemEngine) CreateTable(meta *catalog.Table) (*Table, error) { return e.s.createTable(meta) }
+func (e *MemEngine) OpenTable(name string) *Table                    { return e.s.openTable(name) }
+func (e *MemEngine) TableNames() []string                            { return e.s.tableNames() }
+func (e *MemEngine) Snapshot() *Snapshot                             { return e.s.snapshot() }
+func (e *MemEngine) NewBatch() *WriteBatch                           { return e.s.newBatch() }
+func (e *MemEngine) Commit(b *WriteBatch) (uint64, error)            { return e.s.commit(b) }
+func (e *MemEngine) UseMetrics(reg metricsRegistry)                  { e.s.metrics = newStoreMetrics(reg) }
+func (e *MemEngine) Close() error                                    { return nil }

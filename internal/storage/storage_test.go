@@ -223,7 +223,7 @@ func TestDB(t *testing.T) {
 	if db.Table("nope") != nil {
 		t.Error("missing table should be nil")
 	}
-	if meta.Stats == nil || meta.Stats.RowCount != 2 {
+	if st := meta.Stats(); st == nil || st.RowCount != 2 {
 		t.Error("Finalize should analyze tables")
 	}
 	if tbl.Index("DEPT_PK") == nil {

@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/catalog"
+	"repro/internal/datum"
+)
+
+// DMLOp is one step of a generated write/read interleaving: a mutation
+// statement or a verification query over the mutated table.
+type DMLOp struct {
+	ID      int
+	SQL     string
+	IsQuery bool
+}
+
+// DMLConfig controls the DML mix generator. Weights are relative; a zero
+// weight disables that op kind.
+type DMLConfig struct {
+	Seed  int64
+	Steps int
+	// InsertWeight/UpdateWeight/DeleteWeight/QueryWeight set the mix
+	// (all zero: the 5/3/2/4 default).
+	InsertWeight int
+	UpdateWeight int
+	DeleteWeight int
+	QueryWeight  int
+	// Groups is the GRP-column cardinality (<= 0: 8).
+	Groups int
+}
+
+// DMLTableName is the table the generated mix mutates.
+const DMLTableName = "DMLT"
+
+// DMLTableSchema returns the schema for the generated mix's target table:
+// a unique primary key, a low-cardinality indexed group column, a float
+// value and a nullable note.
+func DMLTableSchema() *catalog.Table {
+	return &catalog.Table{
+		Name: DMLTableName,
+		Cols: []catalog.Column{
+			{Name: "ID", Type: datum.KInt},
+			{Name: "GRP", Type: datum.KInt},
+			{Name: "VAL", Type: datum.KFloat},
+			{Name: "NOTE", Type: datum.KString, Nullable: true},
+		},
+		PrimaryKey: []int{0},
+		Indexes: []*catalog.Index{
+			{Name: "DMLT_PK", Cols: []int{0}, Unique: true},
+			{Name: "DMLT_GRP", Cols: []int{1}},
+		},
+	}
+}
+
+// GenerateDML produces a deterministic insert/update/delete/query
+// interleaving. The generator tracks which primary keys are live so
+// updates and deletes target existing rows (with an occasional
+// deliberately-missing key to exercise zero-row statements), and every
+// few steps emits a verification query; a differential harness replays
+// the identical op list against two engines and asserts identical
+// results step by step.
+func GenerateDML(cfg DMLConfig) []DMLOp {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	wi, wu, wd, wq := cfg.InsertWeight, cfg.UpdateWeight, cfg.DeleteWeight, cfg.QueryWeight
+	if wi == 0 && wu == 0 && wd == 0 && wq == 0 {
+		wi, wu, wd, wq = 5, 3, 2, 4
+	}
+	groups := cfg.Groups
+	if groups <= 0 {
+		groups = 8
+	}
+	total := wi + wu + wd + wq
+
+	var ops []DMLOp
+	var live []int
+	nextID := 1
+	emit := func(isQuery bool, format string, args ...any) {
+		ops = append(ops, DMLOp{ID: len(ops), SQL: fmt.Sprintf(format, args...), IsQuery: isQuery})
+	}
+	pickLive := func() int {
+		if len(live) == 0 || rng.Intn(10) == 0 {
+			return 1_000_000 + rng.Intn(1000) // deliberately missing key
+		}
+		return live[rng.Intn(len(live))]
+	}
+	removeLive := func(id int) {
+		for i, v := range live {
+			if v == id {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				return
+			}
+		}
+	}
+
+	for len(ops) < cfg.Steps {
+		r := rng.Intn(total)
+		switch {
+		case r < wi || len(live) == 0:
+			n := 1 + rng.Intn(3)
+			stmt := "INSERT INTO " + DMLTableName + " VALUES "
+			for i := 0; i < n; i++ {
+				if i > 0 {
+					stmt += ", "
+				}
+				note := fmt.Sprintf("'n%d'", rng.Intn(100))
+				if rng.Intn(5) == 0 {
+					note = "NULL"
+				}
+				stmt += fmt.Sprintf("(%d, %d, %d.%02d, %s)",
+					nextID, rng.Intn(groups), rng.Intn(1000), rng.Intn(100), note)
+				live = append(live, nextID)
+				nextID++
+			}
+			emit(false, "%s", stmt)
+		case r < wi+wu:
+			if rng.Intn(4) == 0 {
+				// Group-wide update: many rows in one statement.
+				emit(false, "UPDATE %s SET VAL = VAL + 1 WHERE GRP = %d",
+					DMLTableName, rng.Intn(groups))
+			} else {
+				emit(false, "UPDATE %s SET VAL = VAL * 2, NOTE = 'u%d' WHERE ID = %d",
+					DMLTableName, rng.Intn(100), pickLive())
+			}
+		case r < wi+wu+wd:
+			id := pickLive()
+			emit(false, "DELETE FROM %s WHERE ID = %d", DMLTableName, id)
+			removeLive(id)
+		default:
+			switch rng.Intn(4) {
+			case 0:
+				emit(true, "SELECT COUNT(*) FROM %s", DMLTableName)
+			case 1:
+				emit(true, "SELECT ID, VAL, NOTE FROM %s WHERE GRP = %d",
+					DMLTableName, rng.Intn(groups))
+			case 2:
+				lo := rng.Intn(nextID + 1)
+				emit(true, "SELECT ID, GRP FROM %s WHERE ID >= %d AND ID <= %d",
+					DMLTableName, lo, lo+rng.Intn(50))
+			default:
+				emit(true, "SELECT GRP, COUNT(*), SUM(VAL) FROM %s GROUP BY GRP",
+					DMLTableName)
+			}
+		}
+	}
+	return ops
+}
