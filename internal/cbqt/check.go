@@ -1,6 +1,7 @@
 package cbqt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -44,6 +45,46 @@ func (o *Optimizer) checkedInput(q *qtree.Query, stats *Stats) error {
 		return fmt.Errorf("cbqt: input query failed the static checker: %w", vs.Err())
 	}
 	return nil
+}
+
+// OptimizeDML plans a bound mutation statement. With Options.Check armed
+// it adds a fifth seam to the four OptimizeContext runs on the read query:
+// check.DML validates the statement shape (target arity and catalog types,
+// VALUES-vs-read form, ROWID locating-query contract, parameter slot
+// coverage) before any transformation runs, and again after the search —
+// so a transformation that preserved the query-level invariants but broke
+// the DML contract (say, rewrote the ROWID output into an ordinary int
+// column) is rejected here instead of reaching the executor, which trusts
+// the first locating-query output blindly as a row address. The VALUES
+// form has no read query to optimize and returns a Result with no plan.
+func (o *Optimizer) OptimizeDML(ctx context.Context, stmt *qtree.DMLStmt) (*Result, error) {
+	if stmt == nil {
+		return nil, fmt.Errorf("cbqt: nil DML statement")
+	}
+	if o.Opts.Check {
+		if vs := check.DML(stmt); len(vs) > 0 {
+			stats := Stats{StatesByRule: map[string]int{}}
+			o.countCheckViolations(&stats, vs)
+			return nil, fmt.Errorf("cbqt: input %s statement failed the static checker: %w", stmt.Kind, vs.Err())
+		}
+	}
+	if stmt.Read == nil {
+		return &Result{Stats: Stats{StatesByRule: map[string]int{}}}, nil
+	}
+	res, err := o.OptimizeContext(ctx, stmt.Read)
+	if err != nil {
+		return nil, err
+	}
+	// The winner's directives were applied to the read query; keep the
+	// statement pointed at the transformed tree the plan was compiled from.
+	stmt.Read = res.Query
+	if o.Opts.Check {
+		if vs := check.DML(stmt); len(vs) > 0 {
+			o.countCheckViolations(&res.Stats, vs)
+			return nil, fmt.Errorf("cbqt: %s locating query violated the DML contract after transformation: %w", stmt.Kind, vs.Err())
+		}
+	}
+	return res, nil
 }
 
 // IsCheckViolation reports whether err carries static-checker violations

@@ -1,0 +1,282 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/qtree"
+)
+
+// DML statically verifies a bound mutation statement the same way Query
+// verifies a query: target-column arity and type agreement against the
+// catalog, statement-form shape (VALUES vs read query), locating-query
+// well-formedness for UPDATE/DELETE (the first output must be the target
+// table's ROWID — the executor trusts it as a row address), and bind
+// parameter slot coverage. When the statement carries a read query, the
+// full query checker runs over it, so every violation Query can report
+// surfaces here too. Like Query it never executes, never mutates, and
+// never panics on malformed input.
+func DML(stmt *qtree.DMLStmt) Violations {
+	if stmt == nil {
+		return Violations{&Violation{Class: ClassDanglingLink, Detail: "nil DML statement"}}
+	}
+	c := &dmlChecker{stmt: stmt}
+	c.check()
+	return c.vs
+}
+
+type dmlChecker struct {
+	stmt *qtree.DMLStmt
+	vs   Violations
+}
+
+func (c *dmlChecker) add(v *Violation) { c.vs = append(c.vs, v) }
+
+func (c *dmlChecker) addf(class Class, format string, args ...any) {
+	c.add(&Violation{Class: class, Detail: fmt.Sprintf(format, args...)})
+}
+
+func (c *dmlChecker) check() {
+	stmt := c.stmt
+	if stmt.Kind != qtree.DMLInsert && stmt.Kind != qtree.DMLUpdate && stmt.Kind != qtree.DMLDelete {
+		c.addf(ClassDML, "unknown DML kind %d", int(stmt.Kind))
+		return
+	}
+	meta := stmt.Table
+	if meta == nil {
+		c.addf(ClassDanglingLink, "%s statement has no target table", stmt.Kind)
+		return
+	}
+
+	c.checkTargets()
+	c.checkShape()
+
+	// The read query (when present) is verified with the full query
+	// checker; its root output types then feed the arity/type agreement
+	// checks below.
+	var readTypes []Type
+	if stmt.Read != nil {
+		qc := newChecker(stmt.Read)
+		if stmt.Read.Root == nil {
+			qc.add(&Violation{Class: ClassDanglingLink, Detail: "query has no root block"})
+		} else {
+			readTypes = qc.checkBlock(stmt.Read.Root, nil)
+		}
+		c.vs = append(c.vs, qc.vs...)
+	}
+
+	switch stmt.Kind {
+	case qtree.DMLInsert:
+		if stmt.Values != nil {
+			c.checkValues()
+		} else if stmt.Read != nil {
+			if len(readTypes) != len(stmt.TargetCols) {
+				c.addf(ClassArityMismatch, "INSERT into %d column(s) from a %d-column query",
+					len(stmt.TargetCols), len(readTypes))
+			}
+			c.checkWrittenTypes(readTypes, 0)
+		}
+	case qtree.DMLUpdate:
+		if stmt.Read != nil {
+			if len(readTypes) != 1+len(stmt.TargetCols) {
+				c.addf(ClassArityMismatch, "UPDATE of %d column(s) with a %d-column locating query (ROWID plus one value per SET column required)",
+					len(stmt.TargetCols), len(readTypes))
+			}
+			c.checkRowid()
+			c.checkWrittenTypes(readTypes, 1)
+		}
+	case qtree.DMLDelete:
+		if stmt.Read != nil {
+			if len(readTypes) != 1 {
+				c.addf(ClassArityMismatch, "DELETE locating query returns %d columns; exactly 1 (ROWID) is required", len(readTypes))
+			}
+			c.checkRowid()
+		}
+	}
+
+	c.checkParamCoverage()
+}
+
+// checkTargets verifies the target-column ordinals: in catalog range, no
+// duplicates, and an arity that fits the statement kind.
+func (c *dmlChecker) checkTargets() {
+	stmt := c.stmt
+	meta := stmt.Table
+	seen := map[int]bool{}
+	for _, ord := range stmt.TargetCols {
+		if ord < 0 || ord >= len(meta.Cols) {
+			c.addf(ClassUnresolvedColumn, "%s target ordinal %d is out of range for table %s (%d columns)",
+				stmt.Kind, ord, meta.Name, len(meta.Cols))
+			continue
+		}
+		if seen[ord] {
+			c.addf(ClassDML, "%s assigns column %s.%s twice", stmt.Kind, meta.Name, meta.Cols[ord].Name)
+		}
+		seen[ord] = true
+	}
+	switch stmt.Kind {
+	case qtree.DMLInsert, qtree.DMLUpdate:
+		if len(stmt.TargetCols) == 0 {
+			c.addf(ClassArityMismatch, "%s of table %s writes no columns", stmt.Kind, meta.Name)
+		}
+	case qtree.DMLDelete:
+		if len(stmt.TargetCols) != 0 {
+			c.addf(ClassDML, "DELETE carries %d target columns; it must carry none", len(stmt.TargetCols))
+		}
+	}
+}
+
+// checkShape verifies each statement form carries exactly the sources it
+// needs: INSERT has VALUES or a read query (not both, not neither);
+// UPDATE/DELETE have a locating query and no VALUES.
+func (c *dmlChecker) checkShape() {
+	stmt := c.stmt
+	switch stmt.Kind {
+	case qtree.DMLInsert:
+		if stmt.Values != nil && stmt.Read != nil {
+			c.addf(ClassDML, "INSERT carries both VALUES rows and a read query")
+		}
+		if stmt.Values == nil && stmt.Read == nil {
+			c.addf(ClassDML, "INSERT carries neither VALUES rows nor a read query")
+		}
+	case qtree.DMLUpdate, qtree.DMLDelete:
+		if stmt.Read == nil {
+			c.addf(ClassDML, "%s has no locating query", stmt.Kind)
+		}
+		if stmt.Values != nil {
+			c.addf(ClassDML, "%s carries VALUES rows", stmt.Kind)
+		}
+	}
+}
+
+// checkValues verifies the INSERT ... VALUES rows: per-row arity, scalar
+// expressions only (no column references can resolve — there is no FROM
+// scope), parameter slot coverage via the expression typer, and type
+// agreement with the target columns.
+func (c *dmlChecker) checkValues() {
+	stmt := c.stmt
+	meta := stmt.Table
+	// The expression typer needs a query for parameter-slot validation;
+	// VALUES rows share the statement's parameter list and no blocks, so a
+	// shell query carrying just the params is the right environment.
+	qc := newChecker(&qtree.Query{Params: stmt.Params})
+	noScope := func(col *qtree.Col) Type {
+		c.addf(ClassUnresolvedColumn, "column %s in an INSERT VALUES row (no FROM scope exists)", colName(col))
+		return TAny
+	}
+	for ri, row := range stmt.Values {
+		if len(row) != len(stmt.TargetCols) {
+			c.addf(ClassArityMismatch, "INSERT into %d column(s) with a %d-value row (row %d)",
+				len(stmt.TargetCols), len(row), ri)
+		}
+		for i, e := range row {
+			if e == nil {
+				c.addf(ClassDanglingLink, "INSERT VALUES row %d value %d is nil", ri, i)
+				continue
+			}
+			t := qc.typeExpr(e, 0, noScope)
+			if i >= len(stmt.TargetCols) {
+				continue
+			}
+			ord := stmt.TargetCols[i]
+			if ord < 0 || ord >= len(meta.Cols) {
+				continue // reported by checkTargets
+			}
+			want := TypeOfKind(meta.Cols[ord].Type)
+			if !comparable(want, t) {
+				c.addf(ClassTypeMismatch, "INSERT value %d of row %d has type %s; column %s.%s holds %s",
+					i, ri, t, meta.Name, meta.Cols[ord].Name, want)
+			}
+		}
+	}
+	c.vs = append(c.vs, qc.vs...)
+}
+
+// checkRowid verifies the UPDATE/DELETE locating-query contract the
+// executor trusts blindly: the read's first output is a bare column
+// reference resolving, in the root block, to the target table's ROWID
+// pseudo-column. Anything else makes the executor treat an arbitrary
+// integer as a row address.
+func (c *dmlChecker) checkRowid() {
+	stmt := c.stmt
+	root := stmt.Read.Root
+	if root == nil {
+		return // reported as dangling by the query checker
+	}
+	if root.Set != nil {
+		c.addf(ClassDML, "%s locating query's root is a set operation; a root SELECT over %s is required",
+			stmt.Kind, stmt.Table.Name)
+		return
+	}
+	if len(root.Select) == 0 {
+		c.addf(ClassDML, "%s locating query selects nothing; its first output must be %s's ROWID",
+			stmt.Kind, stmt.Table.Name)
+		return
+	}
+	col, ok := root.Select[0].Expr.(*qtree.Col)
+	if !ok {
+		c.addf(ClassDML, "%s locating query's first output is %T, not a ROWID column reference",
+			stmt.Kind, root.Select[0].Expr)
+		return
+	}
+	var from *qtree.FromItem
+	for _, f := range root.From {
+		if f != nil && f.ID == col.From {
+			from = f
+			break
+		}
+	}
+	if from == nil {
+		c.addf(ClassDML, "%s locating query's ROWID column references q%d, which is not a root from item",
+			stmt.Kind, col.From)
+		return
+	}
+	if from.Table == nil || from.Table.Name != stmt.Table.Name {
+		c.addf(ClassDML, "%s locating query's first output comes from %q, not the target table %s",
+			stmt.Kind, from.Alias, stmt.Table.Name)
+		return
+	}
+	if col.Ord != stmt.Table.RowidOrdinal() {
+		c.addf(ClassDML, "%s locating query's first output is %s ordinal %d, not the ROWID pseudo-column (ordinal %d)",
+			stmt.Kind, stmt.Table.Name, col.Ord, stmt.Table.RowidOrdinal())
+	}
+}
+
+// checkWrittenTypes verifies the read query's outputs (from the given
+// offset) against the target columns' catalog types.
+func (c *dmlChecker) checkWrittenTypes(readTypes []Type, offset int) {
+	stmt := c.stmt
+	meta := stmt.Table
+	for i, ord := range stmt.TargetCols {
+		ri := offset + i
+		if ri >= len(readTypes) || ord < 0 || ord >= len(meta.Cols) {
+			continue // arity / ordinal defects already reported
+		}
+		want := TypeOfKind(meta.Cols[ord].Type)
+		if !comparable(want, readTypes[ri]) {
+			c.addf(ClassTypeMismatch, "%s writes a %s value into column %s.%s, which holds %s",
+				stmt.Kind, readTypes[ri], meta.Name, meta.Cols[ord].Name, want)
+		}
+	}
+}
+
+// checkParamCoverage verifies the statement's parameter list agrees with
+// its read query's slot for slot: the server binds one parameter set
+// against the statement, and the optimized read plan binds the same set by
+// ordinal.
+func (c *dmlChecker) checkParamCoverage() {
+	stmt := c.stmt
+	if stmt.Read == nil {
+		return
+	}
+	if len(stmt.Params) != len(stmt.Read.Params) {
+		c.addf(ClassParamOrdinal, "%s declares %d parameter slot(s) but its read query declares %d",
+			stmt.Kind, len(stmt.Params), len(stmt.Read.Params))
+		return
+	}
+	for i, name := range stmt.Params {
+		if stmt.Read.Params[i] != name {
+			c.addf(ClassParamOrdinal, "%s parameter slot %d is %s but the read query registers %s",
+				stmt.Kind, i, name, stmt.Read.Params[i])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/datum"
+	"repro/internal/qtree"
+	"repro/internal/testkit"
+)
+
+// mustBindDML parses and binds one mutation statement against the tiny
+// demo schema.
+func mustBindDML(t *testing.T, src string) *qtree.DMLStmt {
+	t.Helper()
+	db := testkit.TinyDB()
+	stmt, err := qtree.BindDMLSQL(src, db.Catalog)
+	if err != nil {
+		t.Fatalf("bind %q: %v", src, err)
+	}
+	return stmt
+}
+
+func TestDMLCleanStatements(t *testing.T) {
+	for _, src := range []string{
+		"INSERT INTO DEPT (DEPT_ID, NAME) VALUES (7, 'OPS')",
+		"INSERT INTO DEPT (DEPT_ID, NAME, LOC_ID) VALUES (:d, :n, :l)",
+		"INSERT INTO DEPT (DEPT_ID, NAME) SELECT e.EMP_ID, e.NAME FROM EMP e",
+		"UPDATE EMP e SET SALARY = e.SALARY + 1 WHERE e.DEPT_ID = :d",
+		"UPDATE EMP SET MGR_ID = :m, SALARY = 0 WHERE EMP_ID = :id",
+		"DELETE FROM EMP e WHERE e.SALARY < :floor",
+	} {
+		if vs := DML(mustBindDML(t, src)); len(vs) != 0 {
+			t.Errorf("%s:\nunexpected violations: %v", src, vs)
+		}
+	}
+}
+
+// TestNegativeDML covers the DML-specific shape class; further classes the
+// DML checker can emit are exercised by the sibling tests below.
+func TestNegativeDML(t *testing.T) {
+	t.Run("nil statement", func(t *testing.T) {
+		wantClass(t, DML(nil), ClassDanglingLink)
+	})
+	t.Run("duplicate target column", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = 0, MGR_ID = :m WHERE e.EMP_ID = :id")
+		stmt.TargetCols[1] = stmt.TargetCols[0]
+		wantClass(t, DML(stmt), ClassDML)
+	})
+	t.Run("update without locating query", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = 0 WHERE e.EMP_ID = :id")
+		stmt.Read = nil
+		wantClass(t, DML(stmt), ClassDML)
+	})
+	t.Run("delete carrying target columns", func(t *testing.T) {
+		stmt := mustBindDML(t, "DELETE FROM EMP e WHERE e.EMP_ID = :id")
+		stmt.TargetCols = []int{0}
+		wantClass(t, DML(stmt), ClassDML)
+	})
+	t.Run("insert with both VALUES and read query", func(t *testing.T) {
+		stmt := mustBindDML(t, "INSERT INTO DEPT (DEPT_ID, NAME) VALUES (7, 'OPS')")
+		stmt.Read = mustBindDML(t, "DELETE FROM EMP e WHERE e.EMP_ID = :id").Read
+		wantClass(t, DML(stmt), ClassDML)
+	})
+	t.Run("locating query first output is not a column", func(t *testing.T) {
+		stmt := mustBindDML(t, "DELETE FROM EMP e WHERE e.EMP_ID = :id")
+		stmt.Read.Root.Select[0].Expr = &qtree.Const{Val: datum.NewInt(1)}
+		wantClass(t, DML(stmt), ClassDML)
+	})
+	t.Run("locating query first output is not ROWID", func(t *testing.T) {
+		// The exact defect a broken transformation would plant: EMP_ID is an
+		// ordinary int column, indistinguishable from a rowid at runtime —
+		// the executor would address arbitrary rows with employee IDs.
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = 0 WHERE e.DEPT_ID = :d")
+		stmt.Read.Root.Select[0].Expr.(*qtree.Col).Ord = 0
+		wantClass(t, DML(stmt), ClassDML)
+	})
+}
+
+func TestNegativeDMLTargetOrdinal(t *testing.T) {
+	stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = 0 WHERE e.EMP_ID = :id")
+	stmt.TargetCols[0] = 99
+	wantClass(t, DML(stmt), ClassUnresolvedColumn)
+}
+
+// TestNegativeDMLTypeAgreement seeds the two type-disagreement forms that
+// bind cleanly from SQL text — the binder does no typing, so before the
+// DML checker these reached the executor unchecked.
+func TestNegativeDMLTypeAgreement(t *testing.T) {
+	t.Run("VALUES row vs catalog", func(t *testing.T) {
+		stmt := mustBindDML(t, "INSERT INTO EMP (EMP_ID, NAME, DEPT_ID, SALARY, MGR_ID) VALUES (1, 2, 3, 4, 5)")
+		wantClass(t, DML(stmt), ClassTypeMismatch) // NAME holds strings
+	})
+	t.Run("SET expression vs catalog", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET EMP_ID = e.NAME WHERE e.DEPT_ID = :d")
+		wantClass(t, DML(stmt), ClassTypeMismatch)
+	})
+}
+
+func TestNegativeDMLArity(t *testing.T) {
+	t.Run("VALUES row arity", func(t *testing.T) {
+		stmt := mustBindDML(t, "INSERT INTO DEPT (DEPT_ID, NAME) VALUES (7, 'OPS')")
+		stmt.Values[0] = stmt.Values[0][:1]
+		wantClass(t, DML(stmt), ClassArityMismatch)
+	})
+	t.Run("update locating query arity", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = 0 WHERE e.EMP_ID = :id")
+		stmt.Read.Root.Select = stmt.Read.Root.Select[:1] // drop the SET value
+		wantClass(t, DML(stmt), ClassArityMismatch)
+	})
+	t.Run("delete locating query arity", func(t *testing.T) {
+		stmt := mustBindDML(t, "DELETE FROM EMP e WHERE e.EMP_ID = :id")
+		q := mustBindDML(t, "UPDATE EMP e SET SALARY = 0 WHERE e.EMP_ID = :id").Read
+		stmt.Read = q // two outputs where DELETE needs exactly ROWID
+		wantClass(t, DML(stmt), ClassArityMismatch)
+	})
+}
+
+func TestNegativeDMLParamCoverage(t *testing.T) {
+	t.Run("slot count drift", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = :s WHERE e.EMP_ID = :id")
+		stmt.Params = stmt.Params[:1]
+		wantClass(t, DML(stmt), ClassParamOrdinal)
+	})
+	t.Run("slot name drift", func(t *testing.T) {
+		stmt := mustBindDML(t, "UPDATE EMP e SET SALARY = :s WHERE e.EMP_ID = :id")
+		stmt.Params = append([]string(nil), stmt.Params...)
+		stmt.Params[0], stmt.Params[1] = stmt.Params[1], stmt.Params[0]
+		wantClass(t, DML(stmt), ClassParamOrdinal)
+	})
+	t.Run("VALUES param ordinal", func(t *testing.T) {
+		stmt := mustBindDML(t, "INSERT INTO DEPT (DEPT_ID, NAME) VALUES (:d, :n)")
+		stmt.Values[0][0].(*qtree.Param).Ord = 9
+		wantClass(t, DML(stmt), ClassParamOrdinal)
+	})
+}
+
+func TestNegativeDMLValuesColumnRef(t *testing.T) {
+	stmt := mustBindDML(t, "INSERT INTO DEPT (DEPT_ID, NAME) VALUES (7, 'OPS')")
+	stmt.Values[0][0] = &qtree.Col{From: 3, Ord: 0, Name: "EMP_ID"}
+	wantClass(t, DML(stmt), ClassUnresolvedColumn)
+}
+
+// TestDMLReadQueryFullyChecked asserts the read query runs under the whole
+// query checker, not a shallow arity probe: a defect deep inside the
+// locating query's WHERE surfaces through DML().
+func TestDMLReadQueryFullyChecked(t *testing.T) {
+	stmt := mustBindDML(t, "DELETE FROM EMP e WHERE e.DEPT_ID = :d")
+	qtree.WalkExpr(stmt.Read.Root.Where[0], func(x qtree.Expr) bool {
+		if col, ok := x.(*qtree.Col); ok {
+			col.From = 77 // dangling from-item reference
+		}
+		return true
+	})
+	wantClass(t, DML(stmt), ClassUnresolvedColumn)
+}

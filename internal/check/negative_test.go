@@ -412,6 +412,7 @@ func TestEveryClassHasNegativeCase(t *testing.T) {
 		"contract":          TestNegativeContract,
 		"plan":              TestNegativePlan,
 		"aliasing":          TestNegativeAliasing,
+		"dml":               TestNegativeDML,
 	} {
 		t.Run(name, fn)
 	}

@@ -80,6 +80,12 @@ const (
 	// region must be upward-closed), or a mutation observed on the shared
 	// base tree after a state was evaluated against it.
 	ClassAliasing Class = "aliasing"
+	// ClassDML: a mutation statement's shape is broken — duplicate or
+	// missing target columns, a statement form carrying the wrong sources
+	// (VALUES and a read query at once, an UPDATE without a locating
+	// query), or a locating query whose first output is not the target
+	// table's ROWID.
+	ClassDML Class = "dml"
 )
 
 // Classes lists every violation class, for metrics pre-registration and
@@ -89,6 +95,7 @@ func Classes() []Class {
 		ClassUnresolvedColumn, ClassParamOrdinal, ClassTypeMismatch,
 		ClassArityMismatch, ClassDanglingLink, ClassGrouping,
 		ClassJoinOrder, ClassContract, ClassPlan, ClassAliasing,
+		ClassDML,
 	}
 }
 

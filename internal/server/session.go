@@ -521,12 +521,16 @@ func (ss *session) optimize(ctx context.Context, src string) (*cachedPlan, error
 		}
 		return &cachedPlan{plan: res.Plan, params: res.Query.Params, sql: res.Query.SQL()}, nil
 	case *qtree.DMLStmt:
+		// Mutations run the same optimizer entry the checker arms: the DML
+		// contract (ROWID locating query, target arity/types) is validated
+		// around the read query's search, so a malformed statement fails
+		// here instead of addressing arbitrary rows in the executor.
 		cp := &cachedPlan{params: v.Params, sql: src, dml: v}
-		if v.Read != nil {
-			res, err := ss.runCBQT(ctx, v.Read)
-			if err != nil {
-				return nil, err
-			}
+		res, err := ss.runCBQTDML(ctx, v)
+		if err != nil {
+			return nil, err
+		}
+		if res.Plan != nil {
 			cp.plan = res.Plan
 			cp.sql = res.Query.SQL()
 		}
@@ -538,6 +542,19 @@ func (ss *session) optimize(ctx context.Context, src string) (*cachedPlan, error
 func (ss *session) runCBQT(ctx context.Context, q *qtree.Query) (*cbqt.Result, error) {
 	o := &cbqt.Optimizer{Cat: ss.srv.db.Catalog, Opts: ss.opts}
 	res, err := o.OptimizeContext(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ss.srv.adm.observe(res.Stats.MemoStateBytes)
+	return res, nil
+}
+
+func (ss *session) runCBQTDML(ctx context.Context, stmt *qtree.DMLStmt) (*cbqt.Result, error) {
+	o := &cbqt.Optimizer{Cat: ss.srv.db.Catalog, Opts: ss.opts}
+	res, err := o.OptimizeDML(ctx, stmt)
 	if err != nil {
 		return nil, err
 	}

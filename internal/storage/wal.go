@@ -438,6 +438,7 @@ func openWalWriter(dir string, lastSeg int) (*walWriter, error) {
 	}
 	st, err := f.Stat()
 	if err != nil {
+		//lint:allow errdrop best-effort cleanup on the stat-failure path; the stat error is the one the caller must see
 		f.Close()
 		return nil, err
 	}
@@ -460,6 +461,7 @@ func (w *walWriter) rotate() error {
 		return err
 	}
 	if _, err := f.Write([]byte(walMagic)); err != nil {
+		//lint:allow errdrop best-effort cleanup of a segment we are abandoning; the write error already fails the rotation
 		f.Close()
 		return err
 	}

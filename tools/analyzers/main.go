@@ -80,6 +80,50 @@ func main() {
 	}
 }
 
+// passCounters tallies per-pass outcomes for one analyzed package: how many
+// findings each pass reported and how many a lint:allow suppressed. When
+// ANALYZERS_COUNTS names a file, the driver appends one JSON line per
+// package so a CI sweep can audit where suppressions concentrate.
+type passCounters map[string]*passTally
+
+type passTally struct {
+	Reported   int `json:"reported"`
+	Suppressed int `json:"suppressed"`
+}
+
+func (c passCounters) tally(name string) *passTally {
+	t := c[name]
+	if t == nil {
+		t = &passTally{}
+		c[name] = t
+	}
+	return t
+}
+
+// dumpCounters appends the per-pass tallies for pkgPath to the file named
+// by ANALYZERS_COUNTS, one JSON object per line. Passes with zero activity
+// are omitted.
+func dumpCounters(pkgPath string, counters passCounters) {
+	path := os.Getenv("ANALYZERS_COUNTS")
+	if path == "" || len(counters) == 0 {
+		return
+	}
+	line := struct {
+		Package string       `json:"package"`
+		Passes  passCounters `json:"passes"`
+	}{Package: pkgPath, Passes: counters}
+	data, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o666)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "%s\n", data)
+}
+
 // printVersion emits the version line cmd/go hashes into its cache key: it
 // must change whenever the tool's behavior does, so it hashes the
 // executable itself.
@@ -182,20 +226,24 @@ func run(cfgPath string) ([]diagnostic, error) {
 		return nil, fmt.Errorf("typechecking %s: %w", pkgPath, err)
 	}
 
-	return analyze(fset, files, pkg, info, pkgPath, applicable), nil
+	diags, counters := analyze(fset, files, pkg, info, pkgPath, applicable)
+	dumpCounters(pkgPath, counters)
+	return diags, nil
 }
 
 // analyze runs the applicable passes and returns unsuppressed findings in
-// deterministic (position, analyzer) order. Test files are parsed and
-// type-checked (the package may not check without them) but never
-// reported on: test-local shortcuts are not production invariants.
-func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, passes []*Analyzer) []diagnostic {
+// deterministic (position, analyzer) order, plus per-pass reported and
+// suppressed counters. Test files are parsed and type-checked (the package
+// may not check without them) but never reported on: test-local shortcuts
+// are not production invariants.
+func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, pkgPath string, passes []*Analyzer) ([]diagnostic, passCounters) {
 	allows := map[string]map[int]map[string]bool{}
 	for _, f := range files {
 		name := fset.Position(f.Pos()).Filename
 		allows[name] = allowDirectives(fset, f)
 	}
 
+	counters := passCounters{}
 	var diags []diagnostic
 	for _, a := range passes {
 		p := &Pass{
@@ -210,8 +258,10 @@ func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *t
 					return
 				}
 				if fileAllows := allows[position.Filename]; fileAllows[position.Line][a.Name] {
+					counters.tally(a.Name).Suppressed++
 					return
 				}
+				counters.tally(a.Name).Reported++
 				diags = append(diags, diagnostic{
 					pos:      position,
 					analyzer: a.Name,
@@ -234,5 +284,5 @@ func analyze(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *t
 		}
 		return a.analyzer < b.analyzer
 	})
-	return diags
+	return diags, counters
 }

@@ -51,8 +51,14 @@ type Analyzer struct {
 	Run      func(*Pass)
 }
 
-// analyzers is the registry the driver runs, in reporting order.
-var analyzers = []*Analyzer{nodeterm, nakedassert, atomicmix, obsvreg}
+// analyzers is the registry the driver runs, in reporting order. The first
+// four are the PR 5 optimizer-stack passes; the last four (subsys.go) are
+// the subsystem-invariant passes over MVCC storage, the WAL, context flow,
+// and the batch engine.
+var analyzers = []*Analyzer{
+	nodeterm, nakedassert, atomicmix, obsvreg,
+	snapmut, ctxflow, selvec, errdrop,
+}
 
 func pathIn(paths ...string) func(string) bool {
 	return func(p string) bool {

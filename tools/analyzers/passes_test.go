@@ -54,7 +54,8 @@ func findings(t *testing.T, a *Analyzer, pkgPath, src string, deps map[string]*t
 	if a.Packages == nil || a.Packages(pkgPath) {
 		applicable = append(applicable, a)
 	}
-	return analyze(fset, files, pkg, info, pkgPath, applicable)
+	diags, _ := analyze(fset, files, pkg, info, pkgPath, applicable)
+	return diags
 }
 
 func wantN(t *testing.T, diags []diagnostic, n int) {
@@ -199,7 +200,8 @@ func f(x any) int { return x.(int) }
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantN(t, analyze(fset, []*ast.File{f}, pkg, info, "repro/internal/exec", []*Analyzer{nakedassert}), 0)
+	diags, _ := analyze(fset, []*ast.File{f}, pkg, info, "repro/internal/exec", []*Analyzer{nakedassert})
+	wantN(t, diags, 0)
 }
 
 func TestDiagnosticsAreOrdered(t *testing.T) {

@@ -8,9 +8,156 @@ import (
 	"testing"
 )
 
+// dirtyModule seeds one violation per analyzer across a throwaway module
+// whose package paths land inside each pass's gated set. Keyed by relative
+// file path.
+var dirtyModule = map[string]string{
+	"internal/cbqt/tick.go": `package cbqt
+
+import (
+	"context"
+	"time"
+)
+
+func Tick() time.Time { return time.Now() } // nodeterm
+
+func run(ctx context.Context) {}
+
+func Drop(ctx context.Context) { run(context.Background()) } // ctxflow
+`,
+	"internal/exec/batch.go": `package exec
+
+type Batch struct {
+	Cols [][]int
+	Sel  []int
+}
+
+func First(b *Batch) int { return b.Cols[0][0] } // selvec
+
+func Shape(x any) int { return x.(int) } // nakedassert
+`,
+	"internal/storage/store.go": `package storage
+
+import "sync/atomic"
+
+type Table struct {
+	Rows []int
+}
+
+type seg struct{}
+
+func (s *seg) Sync() error { return nil }
+
+type store struct {
+	n   int64
+	seg *seg
+}
+
+func (st *store) bump() {
+	atomic.AddInt64(&st.n, 1)
+	st.n = 0 // atomicmix
+}
+
+func Grow(t *Table, s *seg) {
+	t.Rows = append(t.Rows, 1) // snapmut
+	s.Sync()                   // errdrop
+}
+`,
+	"internal/obsv/obsv.go": `package obsv
+
+type Counter struct{}
+
+func (*Counter) Inc() {}
+
+type Registry struct{}
+
+func (*Registry) Counter(name string) *Counter { return nil }
+`,
+	"internal/server/metrics.go": `package server
+
+import "repro/internal/obsv"
+
+func Register(r *obsv.Registry, dynamic string) {
+	r.Counter(dynamic).Inc() // obsvreg
+}
+`,
+}
+
+// cleanModule is the same module with every violation repaired.
+var cleanModule = map[string]string{
+	"internal/cbqt/tick.go": `package cbqt
+
+import "context"
+
+func Tick() int { return 42 }
+
+func run(ctx context.Context) {}
+
+func Drop(ctx context.Context) { run(ctx) }
+`,
+	"internal/exec/batch.go": `package exec
+
+type Batch struct {
+	Cols [][]int
+	Sel  []int
+}
+
+func First(b *Batch) []int { return b.Cols[0] }
+
+func Shape(x any) int {
+	n, _ := x.(int)
+	return n
+}
+`,
+	"internal/storage/store.go": `package storage
+
+import "sync/atomic"
+
+type Table struct {
+	Rows []int
+}
+
+type seg struct{}
+
+func (s *seg) Sync() error { return nil }
+
+type store struct {
+	n   int64
+	seg *seg
+}
+
+func (st *store) bump() {
+	atomic.AddInt64(&st.n, 1)
+	atomic.StoreInt64(&st.n, 0)
+}
+
+func Grow(t *Table, s *seg) error {
+	_ = t
+	return s.Sync()
+}
+`,
+	"internal/obsv/obsv.go": dirtyModule["internal/obsv/obsv.go"],
+	"internal/server/metrics.go": `package server
+
+import "repro/internal/obsv"
+
+const metricName = "server.registered"
+
+func Register(r *obsv.Registry, dynamic string) {
+	r.Counter(metricName).Inc()
+}
+`,
+}
+
+var allPasses = []string{
+	"nodeterm", "nakedassert", "atomicmix", "obsvreg",
+	"snapmut", "ctxflow", "selvec", "errdrop",
+}
+
 // TestVetToolEndToEnd builds the analyzer binary and runs it through the
-// real `go vet -vettool` protocol against a throwaway module containing a
-// seeded violation, checking both the failing and the clean paths.
+// real `go vet -vettool` protocol against a throwaway module seeded with
+// one violation per pass, checking that all eight fire and that the
+// repaired module sweeps clean.
 func TestVetToolEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds a binary and shells out to go vet")
@@ -29,23 +176,19 @@ func TestVetToolEndToEnd(t *testing.T) {
 	mod := t.TempDir()
 	write := func(name, src string) {
 		t.Helper()
-		if err := os.WriteFile(filepath.Join(mod, name), []byte(src), 0o644); err != nil {
+		path := filepath.Join(mod, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}
-	write("go.mod", "module repro\n\ngo 1.24\n")
-	// The package path puts this file inside nodeterm's gated set.
-	if err := os.MkdirAll(filepath.Join(mod, "internal", "cbqt"), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	dirty := `package cbqt
-
-import "time"
-
-func Tick() time.Time { return time.Now() }
-`
-	if err := os.WriteFile(filepath.Join(mod, "internal", "cbqt", "tick.go"), []byte(dirty), 0o644); err != nil {
-		t.Fatal(err)
+	// The module path makes each fixture package resolve inside the
+	// corresponding pass's gated repro/internal/... set.
+	write("go.mod", "module repro\n\ngo 1.22\n")
+	for name, src := range dirtyModule {
+		write(name, src)
 	}
 
 	vet := func() (string, error) {
@@ -57,18 +200,16 @@ func Tick() time.Time { return time.Now() }
 
 	out, err := vet()
 	if err == nil {
-		t.Fatalf("go vet passed on a seeded violation; output:\n%s", out)
+		t.Fatalf("go vet passed on seeded violations; output:\n%s", out)
 	}
-	if !strings.Contains(out, "nodeterm") || !strings.Contains(out, "time.Now") {
-		t.Fatalf("diagnostic missing from go vet output:\n%s", out)
+	for _, pass := range allPasses {
+		if !strings.Contains(out, pass+":") {
+			t.Errorf("pass %s did not fire; go vet output:\n%s", pass, out)
+		}
 	}
 
-	clean := `package cbqt
-
-func Tick() int { return 42 }
-`
-	if err := os.WriteFile(filepath.Join(mod, "internal", "cbqt", "tick.go"), []byte(clean), 0o644); err != nil {
-		t.Fatal(err)
+	for name, src := range cleanModule {
+		write(name, src)
 	}
 	if out, err := vet(); err != nil {
 		t.Fatalf("go vet failed on clean source: %v\n%s", err, out)
